@@ -1,0 +1,13 @@
+"""ABL1: validation accuracy vs. number of training observation points."""
+
+from conftest import publish, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_observation_points(benchmark, prepared):
+    result = run_once(
+        benchmark, ablations.observation_points, prepared, fractions=(0.25, 0.5, 1.0)
+    )
+    publish(benchmark, result)
+    assert len(result.rows) == 3

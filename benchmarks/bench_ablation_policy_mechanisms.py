@@ -1,0 +1,14 @@
+"""ABL2: which refinement mechanism earns the accuracy."""
+
+from conftest import publish, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_policy_mechanisms(benchmark, prepared):
+    result = run_once(benchmark, ablations.policy_mechanisms, prepared)
+    publish(benchmark, result)
+    rates = {row[0]: row[3] for row in result.rows}
+    assert rates["full (paper)"] >= max(
+        rate for name, rate in rates.items() if name != "full (paper)"
+    )

@@ -1,0 +1,12 @@
+"""EXT1: data-plane vs control-plane AS paths in the ground truth."""
+
+from conftest import publish, run_once
+
+from repro.experiments import deflection
+
+
+def test_ext1_deflection(benchmark, prepared):
+    result = run_once(benchmark, deflection.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["loop_rate"] == 0.0
+    assert result.metrics["agreement"] > 0.8

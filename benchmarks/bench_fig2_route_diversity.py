@@ -1,0 +1,11 @@
+"""FIG2: histogram of distinct AS-paths per (origin, observer) AS pair."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_route_diversity(benchmark, prepared):
+    result = run_once(benchmark, fig2.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["fraction_multipath"] > 0.0

@@ -1,0 +1,11 @@
+"""FIG3: worst-case path-diversity example extraction."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_diversity_example(benchmark, prepared):
+    result = run_once(benchmark, fig3.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["distinct_paths"] >= 2

@@ -1,0 +1,12 @@
+"""FIG8: distribution of quasi-routers per AS in the refined model."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_quasi_router_distribution(benchmark, prepared):
+    result = run_once(benchmark, fig8.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["single_router_fraction"] > 0.3
+    assert result.metrics["max_quasi_routers"] >= 2

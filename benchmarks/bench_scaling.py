@@ -1,0 +1,11 @@
+"""SCAL: engine cost vs. topology scale."""
+
+from conftest import publish, run_once
+
+from repro.experiments import scaling
+
+
+def test_scaling(benchmark, workload):
+    result = run_once(benchmark, scaling.run, workload, factors=(0.25, 0.5, 1.0))
+    publish(benchmark, result)
+    assert len(result.rows) == 3

@@ -1,0 +1,11 @@
+"""TAB1: quantiles of the per-AS maximum route diversity."""
+
+from conftest import publish, run_once
+
+from repro.experiments import table1
+
+
+def test_table1_max_diversity(benchmark, prepared):
+    result = run_once(benchmark, table1.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["fraction_ases_ge2"] > 0.0

@@ -1,0 +1,13 @@
+"""TAB2: single-router-per-AS baselines (shortest path / inferred policies)."""
+
+from conftest import publish, run_once
+
+from repro.experiments import table2
+
+
+def test_table2_single_router_baselines(benchmark, prepared):
+    result = run_once(benchmark, table2.run, prepared)
+    publish(benchmark, result)
+    # shape: the dominant disagreement cause is the path not being available
+    rows = {row[0]: row for row in result.rows}
+    assert rows["  AS-path not available"][1] >= rows["  shorter AS-path exists"][1]

@@ -1,0 +1,12 @@
+"""TAB3: iterative refinement convergence on the training set."""
+
+from conftest import publish, run_once
+
+from repro.experiments import table3
+
+
+def test_table3_training_convergence(benchmark, prepared):
+    result = run_once(benchmark, table3.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["converged"] == 1.0
+    assert result.metrics["final_training_rib_out"] == 1.0

@@ -1,0 +1,11 @@
+"""TAB4: prediction quality on held-out observation points (the >80% claim)."""
+
+from conftest import publish, run_once
+
+from repro.experiments import table4
+
+
+def test_table4_validation_prediction(benchmark, prepared):
+    result = run_once(benchmark, table4.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["validation_tie_break_or_better"] > 0.8

@@ -1,0 +1,12 @@
+"""TAB5: prediction for unobserved prefixes (origin-AS split)."""
+
+from conftest import publish, run_once
+
+from repro.experiments import table5
+
+
+def test_table5_origin_split(benchmark, prepared):
+    result = run_once(benchmark, table5.run, prepared)
+    publish(benchmark, result)
+    assert result.metrics["converged"] == 1.0
+    assert result.metrics["validation_rib_out"] > 0.3

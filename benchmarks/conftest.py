@@ -1,0 +1,49 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure.  The quick ``small``
+workload is the default so the whole suite runs in minutes; the numbers
+recorded in EXPERIMENTS.md come from ``--workload default``.  Expensive
+experiments run once per benchmark (rounds=1): the interesting output is
+the rendered table, printed via ``-s`` and the ``extra_info`` mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import DEFAULT, LARGE, SMALL, prepare
+
+WORKLOADS = {"small": SMALL, "default": DEFAULT, "large": LARGE}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workload",
+        default="small",
+        choices=sorted(WORKLOADS),
+        help="which canonical workload the benchmarks run on; "
+        "EXPERIMENTS.md numbers use --workload default",
+    )
+
+
+@pytest.fixture(scope="session")
+def workload(request):
+    return WORKLOADS[request.config.getoption("--workload")]
+
+
+@pytest.fixture(scope="session")
+def prepared(workload):
+    return prepare(workload)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def publish(benchmark, result):
+    """Attach the experiment's headline metrics and print its table."""
+    for key, value in result.metrics.items():
+        benchmark.extra_info[key] = value
+    print()
+    print(result.render())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Run every experiment on one workload and dump the rendered reports.
+
+This is the script behind EXPERIMENTS.md: it executes the full experiment
+matrix (Section 3 analyses, Table 2 baselines, refinement, validation,
+origin split, model-size distribution, ablations, scaling, extension) and
+writes the plain-text tables to stdout or a file.
+
+    python scripts/run_experiments.py --workload default --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    DEFAULT,
+    LARGE,
+    SMALL,
+    ablations,
+    deflection,
+    fig2,
+    fig3,
+    fig8,
+    prepare,
+    scaling,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+WORKLOADS = {"small": SMALL, "default": DEFAULT, "large": LARGE}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="default", choices=sorted(WORKLOADS))
+    parser.add_argument("--out", help="write reports here instead of stdout")
+    parser.add_argument(
+        "--skip-ablations", action="store_true",
+        help="skip the (expensive) ablation sweeps",
+    )
+    args = parser.parse_args(argv)
+    workload = WORKLOADS[args.workload]
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+
+    def emit(text: str) -> None:
+        out.write(text + "\n\n")
+        out.flush()
+
+    started = time.perf_counter()
+    prepared = prepare(workload)
+    emit(f"workload: {workload.name}")
+    emit(f"dataset: {prepared.dataset.summary()}")
+    emit(f"pruned dataset: {prepared.model_dataset.summary()}")
+
+    experiments = [
+        ("FIG2", lambda: fig2.run(prepared)),
+        ("TAB1", lambda: table1.run(prepared)),
+        ("FIG3", lambda: fig3.run(prepared)),
+        ("TAB2", lambda: table2.run(prepared)),
+        ("TAB3", lambda: table3.run(prepared)),
+        ("TAB4", lambda: table4.run(prepared)),
+        ("TAB5", lambda: table5.run(prepared)),
+        ("FIG8", lambda: fig8.run(prepared)),
+        ("EXT1", lambda: deflection.run(prepared)),
+    ]
+    if not args.skip_ablations:
+        experiments.append(
+            ("ABL1", lambda: ablations.observation_points(prepared))
+        )
+        experiments.append(
+            ("ABL2", lambda: ablations.policy_mechanisms(prepared))
+        )
+    experiments.append(("SCAL", lambda: scaling.run(workload)))
+
+    for name, runner in experiments:
+        t0 = time.perf_counter()
+        result = runner()
+        emit(result.render())
+        emit(f"[{name} took {time.perf_counter() - t0:.1f}s]")
+
+    emit(f"total: {time.perf_counter() - started:.1f}s")
+    if args.out:
+        out.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

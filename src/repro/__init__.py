@@ -1,0 +1,15 @@
+"""repro — an AS-topology model that captures route diversity.
+
+A reproduction of Mühlbauer, Feldmann, Maennel, Roughan & Uhlig,
+"Building an AS-topology model that captures route diversity"
+(SIGCOMM 2006), as a complete library: the BGP propagation engine, the
+measurement substrate, topology analysis, relationship-inference
+baselines, the quasi-router AS-routing model with its iterative
+refinement heuristic, and an experiment harness regenerating every table
+and figure of the paper's evaluation.
+
+Start at :mod:`repro.core` for the paper's contribution, or run
+``python examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"

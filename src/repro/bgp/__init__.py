@@ -1,0 +1,63 @@
+"""An event-driven BGP route-propagation engine (C-BGP equivalent).
+
+The engine computes, per prefix, the steady-state outcome of BGP message
+exchange over a topology of routers grouped into ASes: every router's
+Adj-RIB-In, Loc-RIB (best route) and Adj-RIB-Out after convergence.  It
+implements the full decision process of Figure 1 of the paper, import and
+export route-maps, eBGP and iBGP sessions, and IGP-cost-based hot-potato
+tie-breaking.
+
+The same engine serves two roles in this reproduction:
+
+* as the *ground-truth Internet* (multi-router ASes, full-mesh iBGP,
+  realistic and deliberately non-standard policies) producing the observed
+  RIB dumps, and
+* as the *model simulator* for the paper's quasi-router AS-routing model
+  (isolated quasi-routers, per-prefix filter/MED policies).
+"""
+
+from repro.bgp.attributes import (
+    DEFAULT_LOCAL_PREF,
+    DEFAULT_MED,
+    Origin,
+    RouteSource,
+)
+from repro.bgp.route import Route
+from repro.bgp.decision import (
+    DecisionConfig,
+    DecisionOutcome,
+    Step,
+    run_decision,
+    select_best,
+)
+from repro.bgp.policy import Action, Clause, Match, RouteMap
+from repro.bgp.igp import IGPTopology
+from repro.bgp.session import Session
+from repro.bgp.router import Router
+from repro.bgp.network import ASNode, Network
+from repro.bgp.engine import EngineStats, simulate, simulate_prefix
+
+__all__ = [
+    "DEFAULT_LOCAL_PREF",
+    "DEFAULT_MED",
+    "Origin",
+    "RouteSource",
+    "Route",
+    "DecisionConfig",
+    "DecisionOutcome",
+    "Step",
+    "run_decision",
+    "select_best",
+    "Action",
+    "Clause",
+    "Match",
+    "RouteMap",
+    "IGPTopology",
+    "Session",
+    "Router",
+    "ASNode",
+    "Network",
+    "EngineStats",
+    "simulate",
+    "simulate_prefix",
+]

@@ -1,0 +1,48 @@
+"""BGP path-attribute constants and enumerations."""
+
+from __future__ import annotations
+
+import enum
+
+DEFAULT_LOCAL_PREF = 100
+"""local-pref assigned to routes that arrive without an import-policy override."""
+
+DEFAULT_MED = 0
+"""MED assigned on eBGP export unless an export policy overrides it."""
+
+
+class Origin(enum.IntEnum):
+    """The ORIGIN attribute; lower values are preferred by the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Origin":
+        """Parse the one-letter dump code (``i``/``e``/``?``) or a full name."""
+        codes = {"i": cls.IGP, "e": cls.EGP, "?": cls.INCOMPLETE}
+        key = text.strip().lower()
+        if key in codes:
+            return codes[key]
+        try:
+            return cls[key.upper()]
+        except KeyError:
+            raise ValueError(f"unknown origin code {text!r}") from None
+
+    @property
+    def code(self) -> str:
+        """The one-letter dump code used by ``show ip bgp`` and bgpdump."""
+        return {Origin.IGP: "i", Origin.EGP: "e", Origin.INCOMPLETE: "?"}[self]
+
+
+class RouteSource(enum.IntEnum):
+    """How a route entered a router.
+
+    The numeric order encodes the eBGP-over-iBGP preference of the decision
+    process: lower is preferred (locally-originated routes beat everything).
+    """
+
+    LOCAL = 0
+    EBGP = 1
+    IBGP = 2

@@ -1,0 +1,228 @@
+"""The BGP decision process (Figure 1 of the paper).
+
+Given the candidate routes for one prefix at one router, the decision
+process eliminates candidates step by step until a single best route
+remains:
+
+1. highest ``local-pref``
+2. shortest AS-path
+3. lowest ORIGIN code
+4. lowest MED — either compared only among routes from the same neighbour
+   AS (standard) or across all neighbours ("always-compare", which the
+   paper's refinement heuristic requires, Section 4.6)
+5. locally-originated over eBGP-learned over iBGP-learned
+6. lowest IGP cost to the NEXT_HOP (hot-potato routing)
+7. shortest CLUSTER_LIST (RFC 4456, relevant only with route reflection)
+8. lowest neighbour router id — the ORIGINATOR_ID when the route was
+   reflected (the final tie-break; Section 4.5 assigns router ids so this
+   step is deterministic)
+
+:func:`run_decision` also reports, for every eliminated candidate, the step
+that eliminated it.  The "potential RIB-Out match" metric of Section 4.2
+is exactly "eliminated at :data:`Step.ROUTER_ID`".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bgp.route import Route
+
+
+class Step(enum.IntEnum):
+    """Decision-process steps, in evaluation order."""
+
+    LOCAL_PREF = 1
+    PATH_LENGTH = 2
+    ORIGIN = 3
+    MED = 4
+    EBGP_OVER_IBGP = 5
+    IGP_COST = 6
+    CLUSTER_LIST = 7
+    ROUTER_ID = 8
+
+
+@dataclass(frozen=True)
+class DecisionConfig:
+    """Tunable behaviour of the decision process.
+
+    ``med_always_compare``
+        Compare MED across routes from different neighbour ASes, as the
+        paper's model requires ("We require that MED values are always
+        compared during the BGP decision process, even for routes learned
+        from different neighbor ASes", Section 4.6).
+    ``use_igp_cost``
+        Enable the hot-potato step; the quasi-router model has no IGP, the
+        ground-truth substrate does.
+    """
+
+    med_always_compare: bool = False
+    use_igp_cost: bool = True
+
+
+@dataclass
+class DecisionOutcome:
+    """Result of one decision-process run.
+
+    ``best`` is ``None`` only when there were no candidates.  ``eliminated``
+    maps every non-best candidate to the :class:`Step` that removed it.
+    """
+
+    best: Route | None
+    eliminated: dict[int, Step] = field(default_factory=dict)
+    candidates: tuple[Route, ...] = ()
+
+    def elimination_step(self, route: Route) -> Step | None:
+        """The step that eliminated ``route``, or None if it is the best route."""
+        return self.eliminated.get(id(route))
+
+    def survivors_until(self, step: Step) -> list[Route]:
+        """Candidates that were still alive when ``step`` began."""
+        return [
+            route
+            for route in self.candidates
+            if id(route) not in self.eliminated or self.eliminated[id(route)] >= step
+        ]
+
+
+IgpCostFn = Callable[[Route], float]
+
+
+def _zero_igp_cost(route: Route) -> float:
+    return 0.0
+
+
+def run_decision(
+    candidates: Sequence[Route],
+    config: DecisionConfig = DecisionConfig(),
+    igp_cost: IgpCostFn = _zero_igp_cost,
+) -> DecisionOutcome:
+    """Run the decision process over ``candidates`` and return the outcome.
+
+    ``igp_cost`` maps a route to the IGP distance from the deciding router
+    to the route's NEXT_HOP (0 for eBGP-learned and local routes).
+    """
+    outcome = DecisionOutcome(best=None, candidates=tuple(candidates))
+    alive: list[Route] = list(candidates)
+    if not alive:
+        return outcome
+
+    def eliminate(step: Step, keep: list[Route]) -> None:
+        kept_ids = {id(route) for route in keep}
+        for route in alive:
+            if id(route) not in kept_ids:
+                outcome.eliminated[id(route)] = step
+        alive[:] = keep
+
+    if len(alive) > 1:
+        best_lp = max(route.local_pref for route in alive)
+        eliminate(
+            Step.LOCAL_PREF, [r for r in alive if r.local_pref == best_lp]
+        )
+    if len(alive) > 1:
+        best_len = min(len(route.as_path) for route in alive)
+        eliminate(
+            Step.PATH_LENGTH, [r for r in alive if len(r.as_path) == best_len]
+        )
+    if len(alive) > 1:
+        best_origin = min(route.origin for route in alive)
+        eliminate(Step.ORIGIN, [r for r in alive if r.origin == best_origin])
+    if len(alive) > 1:
+        eliminate(Step.MED, _med_survivors(alive, config.med_always_compare))
+    if len(alive) > 1:
+        best_source = min(route.source for route in alive)
+        eliminate(
+            Step.EBGP_OVER_IBGP, [r for r in alive if r.source == best_source]
+        )
+    if len(alive) > 1 and config.use_igp_cost:
+        costs = {id(route): igp_cost(route) for route in alive}
+        best_cost = min(costs.values())
+        eliminate(
+            Step.IGP_COST, [r for r in alive if costs[id(r)] == best_cost]
+        )
+    if len(alive) > 1:
+        best_cluster = min(len(route.cluster_list) for route in alive)
+        eliminate(
+            Step.CLUSTER_LIST,
+            [r for r in alive if len(r.cluster_list) == best_cluster],
+        )
+    if len(alive) > 1:
+        # Final tie-break: lowest neighbour router id (ORIGINATOR_ID for
+        # reflected routes).  Locally-originated routes carry peer_router 0
+        # and therefore win, but they can only tie with another local route
+        # if a prefix is originated twice at the same router, which the
+        # network builder forbids.
+        best_key = min(_router_id_key(route) for route in alive)
+        eliminate(
+            Step.ROUTER_ID,
+            [r for r in alive if _router_id_key(r) == best_key],
+        )
+
+    outcome.best = alive[0]
+    return outcome
+
+
+def select_best(
+    candidates: Sequence[Route],
+    config: DecisionConfig = DecisionConfig(),
+    igp_cost: IgpCostFn = _zero_igp_cost,
+) -> Route | None:
+    """Fast path: the winning route only, without elimination bookkeeping.
+
+    Behaviourally identical to ``run_decision(...).best``; the propagation
+    engine calls this in its inner loop, while the metrics layer uses
+    :func:`run_decision` when it needs to know *why* a route lost.
+    """
+    if not candidates:
+        return None
+    alive = list(candidates)
+    if len(alive) > 1:
+        best_lp = max(route.local_pref for route in alive)
+        alive = [r for r in alive if r.local_pref == best_lp]
+    if len(alive) > 1:
+        best_len = min(len(route.as_path) for route in alive)
+        alive = [r for r in alive if len(r.as_path) == best_len]
+    if len(alive) > 1:
+        best_origin = min(route.origin for route in alive)
+        alive = [r for r in alive if r.origin == best_origin]
+    if len(alive) > 1:
+        alive = _med_survivors(alive, config.med_always_compare)
+    if len(alive) > 1:
+        best_source = min(route.source for route in alive)
+        alive = [r for r in alive if r.source == best_source]
+    if len(alive) > 1 and config.use_igp_cost:
+        costs = [igp_cost(route) for route in alive]
+        best_cost = min(costs)
+        alive = [r for r, c in zip(alive, costs) if c == best_cost]
+    if len(alive) > 1:
+        best_cluster = min(len(route.cluster_list) for route in alive)
+        alive = [r for r in alive if len(r.cluster_list) == best_cluster]
+    if len(alive) > 1:
+        return min(alive, key=_router_id_key)
+    return alive[0]
+
+
+def _med_survivors(alive: Sequence[Route], always_compare: bool) -> list[Route]:
+    """Apply the MED step.
+
+    With ``always_compare`` the MED is a global metric: keep the minimum.
+    Otherwise MEDs are only comparable among routes from the same neighbour
+    AS: within each neighbour-AS group keep only that group's minimum.
+    """
+    if always_compare:
+        best_med = min(route.med for route in alive)
+        return [route for route in alive if route.med == best_med]
+    best_per_asn: dict[int, int] = {}
+    for route in alive:
+        current = best_per_asn.get(route.peer_asn)
+        if current is None or route.med < current:
+            best_per_asn[route.peer_asn] = route.med
+    return [route for route in alive if route.med == best_per_asn[route.peer_asn]]
+
+
+def _router_id_key(route: Route) -> tuple[int, int, int]:
+    """Tie-break key: ORIGINATOR_ID (if reflected), then peer, then next hop."""
+    first = route.originator_id if route.originator_id else route.peer_router
+    return (first, route.peer_router, route.next_hop)

@@ -1,0 +1,260 @@
+"""Event-driven per-prefix BGP propagation to convergence.
+
+The engine reproduces what C-BGP computes for the paper (Section 2): "the
+paths that routers know once the BGP routing has converged", by modelling
+the propagation of BGP messages and executing the decision process at each
+router.  Routing for different prefixes is independent (Section 4.2:
+"Since routing decisions are determined independently for each prefix we
+run a separate simulation for each prefix"), so the unit of work is
+:func:`simulate_prefix`.
+
+Message processing is FIFO and single-threaded, so results are fully
+deterministic.  A message budget guards against policy configurations
+that make BGP diverge (e.g. local-pref dispute wheels, Section 4.6's
+motivation for avoiding local-pref in the refined model); exceeding it
+raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bgp.attributes import DEFAULT_LOCAL_PREF, DEFAULT_MED, RouteSource
+from repro.bgp.decision import DecisionConfig, select_best
+from repro.bgp.network import Network
+from repro.bgp.route import Route
+from repro.bgp.router import Router
+from repro.bgp.session import Session
+from repro.errors import SimulationError
+from repro.net.community import NO_ADVERTISE, NO_EXPORT
+from repro.net.prefix import Prefix
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated while simulating."""
+
+    prefixes: int = 0
+    messages: int = 0
+    decisions: int = 0
+    per_prefix_messages: dict[Prefix, int] = field(default_factory=dict)
+    diverged: list[Prefix] = field(default_factory=list)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold ``other`` into this stats object."""
+        self.prefixes += other.prefixes
+        self.messages += other.messages
+        self.decisions += other.decisions
+        self.per_prefix_messages.update(other.per_prefix_messages)
+        self.diverged.extend(other.diverged)
+
+
+def simulate(
+    network: Network,
+    prefixes: Iterable[Prefix] | None = None,
+    config: DecisionConfig = DecisionConfig(),
+    max_messages: int | None = None,
+) -> EngineStats:
+    """Simulate every prefix (or the given subset) to convergence."""
+    stats = EngineStats()
+    targets = list(prefixes) if prefixes is not None else network.prefixes()
+    for prefix in targets:
+        stats.merge(simulate_prefix(network, prefix, config, max_messages))
+    return stats
+
+
+def simulate_prefix(
+    network: Network,
+    prefix: Prefix,
+    config: DecisionConfig = DecisionConfig(),
+    max_messages: int | None = None,
+) -> EngineStats:
+    """Clear and recompute all routing state for one prefix.
+
+    On return every router's Adj-RIB-In, Loc-RIB and Adj-RIB-Out for
+    ``prefix`` hold the converged state.
+    """
+    if max_messages is None:
+        max_messages = 2000 + 400 * max(1, len(network.sessions))
+    network.clear_prefix(prefix)
+    stats = EngineStats(prefixes=1)
+    queue: deque[tuple[Session, Route | None]] = deque()
+
+    for router_id in sorted(network.originators(prefix)):
+        router = network.routers[router_id]
+        router.local_routes[prefix] = Route.originate(prefix, router_id)
+        network.note_touched(prefix, router_id)
+        _decide_and_export(network, router, prefix, config, queue, stats)
+
+    while queue:
+        stats.messages += 1
+        if stats.messages > max_messages:
+            raise SimulationError(
+                f"BGP did not converge for {prefix} after {max_messages} messages; "
+                "the configured policies likely form a dispute wheel"
+            )
+        session, announced = queue.popleft()
+        receiver = session.dst
+        accepted = _import_route(session, announced)
+        rib_in = receiver.adj_rib_in.setdefault(prefix, {})
+        previous = rib_in.get(session.session_id)
+        if accepted is None:
+            if previous is None:
+                continue
+            del rib_in[session.session_id]
+        else:
+            if accepted.attributes_equal(previous) and (
+                previous is not None
+                and accepted.source == previous.source
+                and accepted.peer_router == previous.peer_router
+            ):
+                continue
+            rib_in[session.session_id] = accepted
+        network.note_touched(prefix, receiver.router_id)
+        _decide_and_export(network, receiver, prefix, config, queue, stats)
+
+    stats.per_prefix_messages[prefix] = stats.messages
+    return stats
+
+
+def _import_route(session: Session, announced: Route | None) -> Route | None:
+    """Apply receive-side processing: loop rejection, defaults, import map."""
+    if announced is None:
+        return None
+    receiver = session.dst
+    if session.is_ebgp:
+        if receiver.asn in announced.as_path:
+            return None
+        route = announced.replace(
+            local_pref=DEFAULT_LOCAL_PREF,
+            source=RouteSource.EBGP,
+            peer_router=session.src.router_id,
+            peer_asn=session.src.asn,
+        )
+    else:
+        # RFC 4456 loop prevention: drop reflected routes that already
+        # passed through this router (as originator or as a cluster).
+        if announced.originator_id == receiver.router_id:
+            return None
+        if receiver.router_id in announced.cluster_list:
+            return None
+        route = announced.replace(
+            source=RouteSource.IBGP,
+            peer_router=session.src.router_id,
+            peer_asn=session.src.asn,
+        )
+    if session.import_map is not None:
+        return session.import_map.apply(route)
+    return route
+
+
+def _decide_and_export(
+    network: Network,
+    router: Router,
+    prefix: Prefix,
+    config: DecisionConfig,
+    queue: deque,
+    stats: EngineStats,
+) -> None:
+    """Re-run the decision process at ``router`` and propagate any change."""
+    stats.decisions += 1
+    candidates = router.candidates(prefix)
+    if candidates:
+        node = network.ases[router.asn]
+
+        def igp_cost(route: Route) -> float:
+            if route.source is not RouteSource.IBGP:
+                return 0.0
+            return node.igp.cost(router.router_id, route.next_hop)
+
+        best = select_best(candidates, config, igp_cost)
+    else:
+        best = None
+
+    previous_best = router.loc_rib.get(prefix)
+    if best is previous_best and best is not None:
+        return
+    if best is None and previous_best is None:
+        return
+    if (
+        best is not None
+        and previous_best is not None
+        and best.attributes_equal(previous_best)
+        and best.peer_router == previous_best.peer_router
+        and best.source == previous_best.source
+    ):
+        # Same announcement from the same place: nothing changed for peers,
+        # but keep the identical object in the Loc-RIB up to date.
+        router.loc_rib[prefix] = best
+        return
+
+    if best is None:
+        router.loc_rib.pop(prefix, None)
+    else:
+        router.loc_rib[prefix] = best
+    network.note_touched(prefix, router.router_id)
+
+    rib_out = router.adj_rib_out.setdefault(prefix, {})
+    for session in router.sessions_out:
+        exported = _export_route(session, best)
+        previous = rib_out.get(session.session_id)
+        if exported is None and previous is None:
+            continue
+        if exported is not None and exported.attributes_equal(previous):
+            continue
+        if exported is None:
+            del rib_out[session.session_id]
+        else:
+            rib_out[session.session_id] = exported
+        queue.append((session, exported))
+
+
+def _export_route(session: Session, best: Route | None) -> Route | None:
+    """Apply send-side processing: export rules, prepending, export map."""
+    if best is None:
+        return None
+    sender = session.src
+    if session.is_ibgp:
+        if NO_ADVERTISE in best.communities:
+            return None
+        if best.source is RouteSource.IBGP:
+            # Plain iBGP speakers never re-advertise internal routes; a
+            # route reflector (RFC 4456) reflects client routes to every
+            # internal peer and non-client routes to its clients only,
+            # stamping ORIGINATOR_ID and prepending itself (its router id
+            # doubles as the cluster id) to the CLUSTER_LIST.
+            if not sender.rr_clients:
+                return None
+            learned_from_client = best.peer_router in sender.rr_clients
+            sending_to_client = session.dst.router_id in sender.rr_clients
+            if not learned_from_client and not sending_to_client:
+                return None
+            originator = best.originator_id or best.peer_router
+            route = best.replace(
+                originator_id=originator,
+                cluster_list=(sender.router_id,) + best.cluster_list,
+            )
+        else:
+            # next-hop-self: the receiver's hot-potato step measures the
+            # IGP distance to this border router, not the external peer.
+            route = best.replace(next_hop=sender.router_id)
+    else:
+        if NO_ADVERTISE in best.communities or NO_EXPORT in best.communities:
+            return None
+        if session.dst.asn in best.as_path:
+            # The peer would reject the route anyway (loop); skip sending.
+            return None
+        route = best.replace(
+            as_path=(sender.asn,) + best.as_path,
+            next_hop=sender.router_id,
+            local_pref=DEFAULT_LOCAL_PREF,
+            med=DEFAULT_MED,
+            # ORIGINATOR_ID/CLUSTER_LIST are AS-internal attributes
+            originator_id=0,
+            cluster_list=(),
+        )
+    if session.export_map is not None:
+        return session.export_map.apply(route)
+    return route

@@ -1,0 +1,136 @@
+"""Intra-AS IGP topology and shortest-path costs.
+
+Each multi-router AS in the ground-truth substrate carries an IGP graph
+over its border routers.  The decision process uses the IGP distance from
+the deciding router to a route's NEXT_HOP as the hot-potato tie-breaker.
+Costs are computed with Dijkstra's algorithm and cached per source router.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable
+
+from repro.errors import TopologyError
+
+INFINITE_COST = math.inf
+
+
+class IGPTopology:
+    """A weighted undirected graph over the router ids of one AS."""
+
+    __slots__ = ("_adjacency", "_cost_cache")
+
+    def __init__(self):
+        self._adjacency: dict[int, dict[int, float]] = {}
+        self._cost_cache: dict[int, dict[int, float]] = {}
+
+    def add_router(self, router_id: int) -> None:
+        """Register a router; idempotent."""
+        self._adjacency.setdefault(router_id, {})
+
+    def add_link(self, a: int, b: int, cost: float = 1.0) -> None:
+        """Add (or update) an undirected link between routers ``a`` and ``b``."""
+        if a == b:
+            raise TopologyError(f"IGP self-loop at router {a:#x}")
+        if cost <= 0:
+            raise TopologyError(f"IGP link cost must be positive, got {cost}")
+        self.add_router(a)
+        self.add_router(b)
+        self._adjacency[a][b] = cost
+        self._adjacency[b][a] = cost
+        self._cost_cache.clear()
+
+    def routers(self) -> Iterable[int]:
+        """All registered router ids."""
+        return self._adjacency.keys()
+
+    def neighbors(self, router_id: int) -> dict[int, float]:
+        """Adjacent routers and link costs for ``router_id``."""
+        return dict(self._adjacency.get(router_id, {}))
+
+    def cost(self, source: int, target: int) -> float:
+        """IGP distance from ``source`` to ``target`` (inf if unreachable)."""
+        if source == target:
+            return 0.0
+        if source not in self._adjacency:
+            return INFINITE_COST
+        cached = self._cost_cache.get(source)
+        if cached is None:
+            cached = self._dijkstra(source)
+            self._cost_cache[source] = cached
+        return cached.get(target, INFINITE_COST)
+
+    def shortest_path(self, source: int, target: int) -> list[int] | None:
+        """The router sequence of a cheapest path (inclusive), or None.
+
+        Ties are broken towards lower router ids, so the hop sequence is
+        deterministic — the data-plane forwarding simulation depends on
+        this.
+        """
+        if source == target:
+            return [source]
+        if source not in self._adjacency or target not in self._adjacency:
+            return None
+        distances: dict[int, float] = {source: 0.0}
+        predecessor: dict[int, int] = {}
+        heap: list[tuple[float, int, int]] = [(0.0, source, source)]
+        settled: set[int] = set()
+        while heap:
+            dist, node, via = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if node != source:
+                predecessor[node] = via
+            if node == target:
+                break
+            for neighbor, weight in sorted(self._adjacency[node].items()):
+                candidate = dist + weight
+                known = distances.get(neighbor, INFINITE_COST)
+                if candidate < known or (
+                    candidate == known
+                    and node < predecessor.get(neighbor, 1 << 62)
+                ):
+                    distances[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor, node))
+        if target not in settled:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(predecessor[path[-1]])
+        path.reverse()
+        return path
+
+    def is_connected(self) -> bool:
+        """True if every router can reach every other router."""
+        routers = list(self._adjacency)
+        if len(routers) <= 1:
+            return True
+        distances = self._dijkstra(routers[0])
+        return len(distances) == len(routers)
+
+    def _dijkstra(self, source: int) -> dict[int, float]:
+        """Single-source shortest-path distances from ``source``."""
+        distances: dict[int, float] = {source: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        settled: set[int] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            for neighbor, weight in self._adjacency[node].items():
+                candidate = dist + weight
+                if candidate < distances.get(neighbor, INFINITE_COST):
+                    distances[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        return distances
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __repr__(self) -> str:
+        links = sum(len(peers) for peers in self._adjacency.values()) // 2
+        return f"IGPTopology(routers={len(self)}, links={links})"

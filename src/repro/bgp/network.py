@@ -1,0 +1,284 @@
+"""The simulated network: ASes, routers, sessions and originations.
+
+:class:`Network` is the mutable topology object shared by the ground-truth
+substrate and the quasi-router model.  It owns routers (grouped into
+:class:`ASNode` objects), directed sessions, prefix originations, and the
+bookkeeping the engine needs to clear per-prefix state between simulation
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.bgp.igp import IGPTopology
+from repro.bgp.route import Route
+from repro.bgp.router import Router, make_router_id
+from repro.bgp.session import Session
+from repro.errors import TopologyError
+from repro.net.prefix import Prefix
+
+
+class ASNode:
+    """One autonomous system: a set of routers plus an optional IGP graph."""
+
+    __slots__ = ("asn", "routers", "igp", "name")
+
+    def __init__(self, asn: int, name: str | None = None):
+        self.asn = asn
+        self.routers: list[Router] = []
+        self.igp = IGPTopology()
+        self.name = name or f"AS{asn}"
+
+    def router_ids(self) -> list[int]:
+        """Ids of this AS's routers, in creation order."""
+        return [router.router_id for router in self.routers]
+
+    def __repr__(self) -> str:
+        return f"ASNode({self.name}, routers={len(self.routers)})"
+
+
+class Network:
+    """A topology of ASes, routers and directed BGP sessions."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.ases: dict[int, ASNode] = {}
+        self.routers: dict[int, Router] = {}
+        self.sessions: dict[int, Session] = {}
+        self._session_by_endpoints: dict[tuple[int, int], Session] = {}
+        self._next_session_id = 1
+        self.originations: dict[Prefix, list[int]] = {}
+        self._touched: dict[Prefix, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_as(self, asn: int, name: str | None = None) -> ASNode:
+        """Create (or return the existing) AS ``asn``."""
+        node = self.ases.get(asn)
+        if node is None:
+            node = ASNode(asn, name)
+            self.ases[asn] = node
+        return node
+
+    def add_router(self, asn: int, name: str | None = None) -> Router:
+        """Create a new router in AS ``asn`` with the next deterministic id."""
+        node = self.add_as(asn)
+        index = len(node.routers) + 1
+        router_id = make_router_id(asn, index)
+        if router_id in self.routers:
+            raise TopologyError(f"duplicate router id {router_id:#x}")
+        router = Router(router_id, asn, index, name)
+        node.routers.append(router)
+        node.igp.add_router(router_id)
+        self.routers[router_id] = router
+        return router
+
+    def get_session(self, src: Router, dst: Router) -> Session | None:
+        """The directed session from ``src`` to ``dst``, if any."""
+        return self._session_by_endpoints.get((src.router_id, dst.router_id))
+
+    def add_session(self, src: Router, dst: Router) -> Session:
+        """Create the directed session ``src -> dst``."""
+        key = (src.router_id, dst.router_id)
+        if src is dst:
+            raise TopologyError(f"session from {src.name} to itself")
+        if key in self._session_by_endpoints:
+            raise TopologyError(f"duplicate session {src.name} -> {dst.name}")
+        session = Session(self._next_session_id, src, dst)
+        self._next_session_id += 1
+        self.sessions[session.session_id] = session
+        self._session_by_endpoints[key] = session
+        src.sessions_out.append(session)
+        dst.sessions_in.append(session)
+        return session
+
+    def connect(self, a: Router, b: Router) -> tuple[Session, Session]:
+        """Create the bidirectional peering between ``a`` and ``b``."""
+        return self.add_session(a, b), self.add_session(b, a)
+
+    def disconnect(self, a: Router, b: Router) -> None:
+        """Tear down the peering between ``a`` and ``b`` (both directions)."""
+        for src, dst in ((a, b), (b, a)):
+            session = self.get_session(src, dst)
+            if session is None:
+                continue
+            del self._session_by_endpoints[(src.router_id, dst.router_id)]
+            del self.sessions[session.session_id]
+            src.sessions_out.remove(session)
+            dst.sessions_in.remove(session)
+
+    def ibgp_route_reflection(
+        self, reflectors: list[Router], clients: list[Router]
+    ) -> None:
+        """Wire an RFC 4456 route-reflection cluster.
+
+        Every reflector peers with every client (marking the client) and
+        the reflectors form a full mesh among themselves.  All routers
+        must belong to the same AS.
+        """
+        asns = {router.asn for router in reflectors + clients}
+        if len(asns) != 1:
+            raise TopologyError(f"route reflection across ASes: {sorted(asns)}")
+        for i, a in enumerate(reflectors):
+            for b in reflectors[i + 1 :]:
+                if self.get_session(a, b) is None:
+                    self.connect(a, b)
+        for reflector in reflectors:
+            for client in clients:
+                if self.get_session(reflector, client) is None:
+                    self.connect(reflector, client)
+                reflector.rr_clients.add(client.router_id)
+
+    def ibgp_full_mesh(self, asn: int) -> None:
+        """Create iBGP sessions between every router pair of AS ``asn``."""
+        node = self.ases[asn]
+        for i, a in enumerate(node.routers):
+            for b in node.routers[i + 1 :]:
+                if self.get_session(a, b) is None:
+                    self.connect(a, b)
+
+    def originate(self, router: Router, prefix: Prefix) -> Route:
+        """Originate ``prefix`` at ``router``."""
+        origins = self.originations.setdefault(prefix, [])
+        if router.router_id in origins:
+            raise TopologyError(f"{router.name} already originates {prefix}")
+        origins.append(router.router_id)
+        return router.originate(prefix)
+
+    def originators(self, prefix: Prefix) -> list[int]:
+        """Router ids originating ``prefix`` (empty list if none)."""
+        return self.originations.get(prefix, [])
+
+    def prefixes(self) -> list[Prefix]:
+        """All originated prefixes, sorted for deterministic iteration."""
+        return sorted(self.originations)
+
+    # ------------------------------------------------------------------
+    # Quasi-router support (Section 4.6: duplication)
+    # ------------------------------------------------------------------
+
+    def duplicate_router(self, original: Router) -> Router:
+        """Clone ``original`` with the same neighbours and session policies.
+
+        The clone receives its own (higher) router index, duplicated eBGP
+        sessions to the same neighbour routers, and *copies* of every
+        per-session route-map so the clone's policies can diverge from the
+        original's.  iBGP sessions are deliberately not cloned: quasi-routers
+        are isolated from each other (Section 4.6).
+        """
+        clone = self.add_router(original.asn)
+        for session in list(original.sessions_in):
+            if session.is_ibgp:
+                continue
+            new_session = self.add_session(session.src, clone)
+            if session.import_map is not None:
+                new_session.import_map = session.import_map.copy()
+            if session.export_map is not None:
+                new_session.export_map = session.export_map.copy()
+        for session in list(original.sessions_out):
+            if session.is_ibgp:
+                continue
+            new_session = self.add_session(clone, session.dst)
+            if session.import_map is not None:
+                new_session.import_map = session.import_map.copy()
+            if session.export_map is not None:
+                new_session.export_map = session.export_map.copy()
+        for prefix in original.local_routes:
+            self.originate(clone, prefix)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Engine bookkeeping
+    # ------------------------------------------------------------------
+
+    def note_touched(self, prefix: Prefix, router_id: int) -> None:
+        """Record that ``router_id`` holds state for ``prefix``."""
+        self._touched.setdefault(prefix, set()).add(router_id)
+
+    def clear_prefix(self, prefix: Prefix) -> None:
+        """Wipe all routing state for ``prefix`` ahead of a re-simulation."""
+        touched = self._touched.pop(prefix, None)
+        if touched is None:
+            return
+        for router_id in touched:
+            router = self.routers.get(router_id)
+            if router is not None:
+                router.clear_prefix(prefix)
+
+    def clear_routing(self) -> None:
+        """Wipe all routing state for every prefix."""
+        for prefix in list(self._touched):
+            self.clear_prefix(prefix)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def as_routers(self, asn: int) -> list[Router]:
+        """The routers of AS ``asn`` (empty if the AS is unknown)."""
+        node = self.ases.get(asn)
+        return list(node.routers) if node else []
+
+    def ebgp_sessions(self) -> Iterator[Session]:
+        """Iterate over all eBGP sessions."""
+        return (s for s in self.sessions.values() if s.is_ebgp)
+
+    def as_adjacencies(self) -> set[tuple[int, int]]:
+        """Undirected AS-level edges realised by at least one eBGP session."""
+        edges: set[tuple[int, int]] = set()
+        for session in self.ebgp_sessions():
+            a, b = session.src.asn, session.dst.asn
+            edges.add((min(a, b), max(a, b)))
+        return edges
+
+    def stats(self) -> dict[str, int]:
+        """Size summary used by reports and the scaling benchmark."""
+        return {
+            "ases": len(self.ases),
+            "routers": len(self.routers),
+            "sessions": len(self.sessions),
+            "ebgp_sessions": sum(1 for _ in self.ebgp_sessions()),
+            "prefixes": len(self.originations),
+        }
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`TopologyError`."""
+        for session in self.sessions.values():
+            if session.src.router_id not in self.routers:
+                raise TopologyError(f"{session!r} has unknown source")
+            if session.dst.router_id not in self.routers:
+                raise TopologyError(f"{session!r} has unknown destination")
+        for prefix, origins in self.originations.items():
+            for router_id in origins:
+                if router_id not in self.routers:
+                    raise TopologyError(
+                        f"prefix {prefix} originated at unknown router {router_id:#x}"
+                    )
+        for node in self.ases.values():
+            for router in node.routers:
+                if router.asn != node.asn:
+                    raise TopologyError(
+                        f"router {router.name} filed under AS {node.asn}"
+                    )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"Network({self.name}: {stats['ases']} ASes, {stats['routers']} routers, "
+            f"{stats['sessions']} sessions, {stats['prefixes']} prefixes)"
+        )
+
+
+def build_clique(network: Network, asns: Iterable[int]) -> None:
+    """Fully mesh single-router ASes for the given ASNs (testing helper)."""
+    routers = []
+    for asn in asns:
+        existing = network.as_routers(asn)
+        routers.append(existing[0] if existing else network.add_router(asn))
+    for i, a in enumerate(routers):
+        for b in routers[i + 1 :]:
+            if network.get_session(a, b) is None:
+                network.connect(a, b)

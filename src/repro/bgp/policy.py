@@ -1,0 +1,250 @@
+"""Route-maps: the policy mechanism applied on session import and export.
+
+A :class:`RouteMap` is an ordered list of :class:`Clause` objects.  Each
+clause has a :class:`Match` (which route announcements it applies to) and
+an :class:`Action` (deny, or permit with attribute modifications).  The
+first matching clause wins; routes matching no clause are permitted
+unmodified.
+
+The paper's refinement heuristic installs exactly two kinds of clause
+(Section 4.6):
+
+* a *filter*: ``deny`` routes for one prefix whose AS-path is shorter than
+  the observed path (``Match(prefix=p, path_len_lt=n)``), and
+* a *ranking*: set a low MED on routes for one prefix learned from the
+  preferred neighbour (``Match(prefix=p) -> set_med``), relying on
+  always-compare MED.
+
+The ground-truth substrate and the Table 2 baseline additionally use
+local-pref settings, neighbour matches and community-driven filtering.
+
+Route-maps keep an index of clauses whose match names an exact prefix, so
+that models carrying hundreds of thousands of per-prefix clauses evaluate
+each route against only the handful of clauses for its own prefix.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.bgp.route import Route
+from repro.net.prefix import Prefix
+
+_REGEX_CACHE: dict[str, "re.Pattern[str]"] = {}
+
+
+def _compiled(pattern: str) -> "re.Pattern[str]":
+    """Compile-and-cache an AS-path regular expression."""
+    compiled = _REGEX_CACHE.get(pattern)
+    if compiled is None:
+        compiled = re.compile(pattern)
+        _REGEX_CACHE[pattern] = compiled
+    return compiled
+
+
+class Action(enum.Enum):
+    """What a matching clause does with the route."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class Match:
+    """Predicate over a route announcement.
+
+    All given conditions must hold (logical AND).  An empty match matches
+    every route.
+    """
+
+    prefix: Prefix | None = None
+    path_len_lt: int | None = None
+    path_len_gt: int | None = None
+    from_asn: int | None = None
+    from_router: int | None = None
+    path_contains: int | None = None
+    path_regex: str | None = None
+    """Regular expression over the space-separated AS-path string, in the
+    style of C-BGP / Cisco as-path access-lists (e.g. ``"^3356 .* 701$"``).
+    Anchors match the path head (most recent AS) and the origin."""
+    community: int | None = None
+
+    def matches(self, route: Route) -> bool:
+        """True if ``route`` satisfies every condition of this match."""
+        if self.prefix is not None and route.prefix != self.prefix:
+            return False
+        if self.path_len_lt is not None and not len(route.as_path) < self.path_len_lt:
+            return False
+        if self.path_len_gt is not None and not len(route.as_path) > self.path_len_gt:
+            return False
+        if self.from_asn is not None and route.peer_asn != self.from_asn:
+            return False
+        if self.from_router is not None and route.peer_router != self.from_router:
+            return False
+        if self.path_contains is not None and self.path_contains not in route.as_path:
+            return False
+        if self.path_regex is not None and not _compiled(self.path_regex).search(
+            route.path_str()
+        ):
+            return False
+        if self.community is not None and self.community not in route.communities:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable form used in C-BGP config export and __repr__."""
+        parts = []
+        if self.prefix is not None:
+            parts.append(f"prefix is {self.prefix}")
+        if self.path_len_lt is not None:
+            parts.append(f"path-length < {self.path_len_lt}")
+        if self.path_len_gt is not None:
+            parts.append(f"path-length > {self.path_len_gt}")
+        if self.from_asn is not None:
+            parts.append(f"from-as {self.from_asn}")
+        if self.from_router is not None:
+            parts.append(f"from-router {self.from_router:#010x}")
+        if self.path_contains is not None:
+            parts.append(f"path contains {self.path_contains}")
+        if self.path_regex is not None:
+            parts.append(f"path matches {self.path_regex!r}")
+        if self.community is not None:
+            parts.append(f"community {self.community}")
+        return " and ".join(parts) if parts else "any"
+
+
+@dataclass
+class Clause:
+    """One route-map entry: a match plus an action and attribute changes."""
+
+    match: Match = field(default_factory=Match)
+    action: Action = Action.PERMIT
+    set_local_pref: int | None = None
+    set_med: int | None = None
+    prepend: int = 0
+    add_communities: frozenset[int] = frozenset()
+    strip_communities: bool = False
+    tag: str | None = None
+    """Free-form label; the refiner tags its clauses so they can be deleted."""
+
+    def apply(self, route: Route) -> Route | None:
+        """Apply this clause to ``route``; None means denied.
+
+        Must only be called when ``self.match.matches(route)`` is True.
+        """
+        if self.action is Action.DENY:
+            return None
+        changes: dict = {}
+        if self.set_local_pref is not None:
+            changes["local_pref"] = self.set_local_pref
+        if self.set_med is not None:
+            changes["med"] = self.set_med
+        if self.prepend and route.as_path:
+            head = route.as_path[0]
+            changes["as_path"] = (head,) * self.prepend + route.as_path
+        if self.strip_communities:
+            changes["communities"] = frozenset(self.add_communities)
+        elif self.add_communities:
+            changes["communities"] = route.communities | self.add_communities
+        if not changes:
+            return route
+        return route.replace(**changes)
+
+
+class RouteMap:
+    """An ordered sequence of clauses with first-match-wins semantics."""
+
+    __slots__ = ("_clauses", "_by_prefix", "_generic", "default_action")
+
+    def __init__(
+        self,
+        clauses: Iterable[Clause] = (),
+        default_action: Action = Action.PERMIT,
+    ):
+        self._clauses: list[tuple[int, Clause]] = []
+        self._by_prefix: dict[Prefix, list[tuple[int, Clause]]] = {}
+        self._generic: list[tuple[int, Clause]] = []
+        self.default_action = default_action
+        for clause in clauses:
+            self.append(clause)
+
+    def append(self, clause: Clause) -> None:
+        """Add ``clause`` after all existing clauses."""
+        position = len(self._clauses)
+        entry = (position, clause)
+        self._clauses.append(entry)
+        if clause.match.prefix is not None:
+            self._by_prefix.setdefault(clause.match.prefix, []).append(entry)
+        else:
+            self._generic.append(entry)
+
+    def remove(self, clause: Clause) -> bool:
+        """Remove the first occurrence of ``clause`` (by identity); True if found."""
+        for entry in self._clauses:
+            if entry[1] is clause:
+                self._clauses.remove(entry)
+                bucket = (
+                    self._by_prefix.get(clause.match.prefix)
+                    if clause.match.prefix is not None
+                    else self._generic
+                )
+                if bucket is not None and entry in bucket:
+                    bucket.remove(entry)
+                return True
+        return False
+
+    def remove_if(self, predicate) -> int:
+        """Remove every clause for which ``predicate(clause)`` is true."""
+        doomed = [clause for _, clause in self._clauses if predicate(clause)]
+        for clause in doomed:
+            self.remove(clause)
+        return len(doomed)
+
+    def clauses(self) -> Iterator[Clause]:
+        """Iterate over clauses in evaluation order."""
+        return (clause for _, clause in self._clauses)
+
+    def copy(self) -> "RouteMap":
+        """Return an independently-mutable copy (clause objects are shared)."""
+        return RouteMap(self.clauses(), default_action=self.default_action)
+
+    def clauses_for_prefix(self, prefix: Prefix) -> Iterator[Clause]:
+        """Iterate, in evaluation order, over clauses that could match ``prefix``."""
+        indexed = self._by_prefix.get(prefix, [])
+        merged = sorted(indexed + self._generic, key=lambda entry: entry[0])
+        return (clause for _, clause in merged)
+
+    def apply(self, route: Route) -> Route | None:
+        """Evaluate the route-map on ``route``; None means denied."""
+        indexed = self._by_prefix.get(route.prefix)
+        if indexed and self._generic:
+            candidates = sorted(indexed + self._generic, key=lambda entry: entry[0])
+        elif indexed:
+            candidates = indexed
+        else:
+            candidates = self._generic
+        for _, clause in candidates:
+            if clause.match.matches(route):
+                return clause.apply(route)
+        if self.default_action is Action.DENY:
+            return None
+        return route
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __bool__(self) -> bool:
+        # An empty permit-by-default route-map is a no-op, but an empty
+        # deny-by-default one is not, so truthiness must account for both.
+        return bool(self._clauses) or self.default_action is Action.DENY
+
+    def __repr__(self) -> str:
+        lines = [
+            f"  {clause.action.value} if {clause.match.describe()}"
+            for clause in self.clauses()
+        ]
+        body = "\n".join(lines)
+        return f"RouteMap(default={self.default_action.value}\n{body}\n)"

@@ -1,0 +1,60 @@
+"""Directed BGP sessions.
+
+A BGP peering between routers A and B is modelled as two directed
+sessions, one per announcement direction.  Policies attach to directed
+sessions: ``export_map`` runs at the source before the announcement is
+sent, ``import_map`` runs at the destination when it is received.  This
+directly supports the paper's placement of refinement policies: "a filter
+policy for this prefix at the announcing neighbor" is an export-map clause
+on the neighbour's session *towards* one specific quasi-router.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bgp.policy import RouteMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.bgp.router import Router
+
+
+class Session:
+    """One directed announcement channel from ``src`` to ``dst``."""
+
+    __slots__ = ("session_id", "src", "dst", "import_map", "export_map")
+
+    def __init__(self, session_id: int, src: "Router", dst: "Router"):
+        self.session_id = session_id
+        self.src = src
+        self.dst = dst
+        self.import_map: RouteMap | None = None
+        self.export_map: RouteMap | None = None
+
+    @property
+    def is_ebgp(self) -> bool:
+        """True if the endpoints are in different ASes."""
+        return self.src.asn != self.dst.asn
+
+    @property
+    def is_ibgp(self) -> bool:
+        """True if the endpoints are in the same AS."""
+        return self.src.asn == self.dst.asn
+
+    def ensure_import_map(self) -> RouteMap:
+        """Return the import route-map, creating an empty one if needed."""
+        if self.import_map is None:
+            self.import_map = RouteMap()
+        return self.import_map
+
+    def ensure_export_map(self) -> RouteMap:
+        """Return the export route-map, creating an empty one if needed."""
+        if self.export_map is None:
+            self.export_map = RouteMap()
+        return self.export_map
+
+    def __repr__(self) -> str:
+        kind = "eBGP" if self.is_ebgp else "iBGP"
+        return (
+            f"Session#{self.session_id}({kind} {self.src.name} -> {self.dst.name})"
+        )

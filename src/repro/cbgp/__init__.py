@@ -1,0 +1,14 @@
+"""C-BGP-style configuration scripts.
+
+The paper feeds its models to the C-BGP simulator [30].  This package
+serialises a :class:`~repro.bgp.Network` into a C-BGP-flavoured script
+(``net add node``, ``bgp add router``, ``bgp router ... add peer``,
+filter rules) and parses the same dialect back, so models built here can
+be inspected, diffed, version-controlled, and — modulo dialect details —
+replayed against the real C-BGP.
+"""
+
+from repro.cbgp.export import export_network, export_model
+from repro.cbgp.parse import parse_script
+
+__all__ = ["export_network", "export_model", "parse_script"]

@@ -1,0 +1,151 @@
+"""Serialise a network or model to a C-BGP-style script.
+
+The dialect is a practical subset of C-BGP's CLI:
+
+* ``net add node <ip>`` / ``net add link <ip> <ip> <igp-cost>``
+* ``bgp add router <asn> <ip>``
+* ``bgp router <ip> add peer <asn> <ip>`` (+ ``filter in|out`` blocks)
+* ``bgp router <ip> add network <prefix>``
+
+Filter rules are emitted as ``add-rule`` blocks with ``match``/``action``
+lines.  :mod:`repro.cbgp.parse` reads exactly this dialect back.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.bgp.network import Network
+from repro.bgp.policy import Action, Clause, RouteMap
+from repro.bgp.router import format_router_id
+from repro.bgp.session import Session
+
+
+def export_network(network: Network, out: TextIO) -> int:
+    """Write ``network`` as a C-BGP-style script; returns the line count."""
+    writer = _Writer(out)
+    writer.comment(f"c-bgp style export of {network.name}")
+    writer.comment(
+        "{ases} ASes, {routers} routers, {sessions} sessions".format(
+            **network.stats()
+        )
+    )
+    for asn in sorted(network.ases):
+        node = network.ases[asn]
+        writer.comment(f"--- AS{asn}")
+        for router in node.routers:
+            writer.line(f"net add node {format_router_id(router.router_id)}")
+            writer.line(f"bgp add router {asn} {format_router_id(router.router_id)}")
+        emitted: set[tuple[int, int]] = set()
+        for router in node.routers:
+            for target, cost in node.igp.neighbors(router.router_id).items():
+                key = (min(router.router_id, target), max(router.router_id, target))
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                writer.line(
+                    "net add link {} {} {}".format(
+                        format_router_id(key[0]), format_router_id(key[1]), int(cost)
+                    )
+                )
+    for session in sorted(network.sessions.values(), key=lambda s: s.session_id):
+        _export_session(writer, session)
+    for prefix in network.prefixes():
+        for router_id in sorted(network.originators(prefix)):
+            writer.line(
+                f"bgp router {format_router_id(router_id)} add network {prefix}"
+            )
+    return writer.count
+
+
+def export_model(model, out: TextIO) -> int:
+    """Write an :class:`~repro.core.model.ASRoutingModel`'s network."""
+    return export_network(model.network, out)
+
+
+class _Writer:
+    """Line writer with a running count."""
+
+    def __init__(self, out: TextIO):
+        self.out = out
+        self.count = 0
+
+    def line(self, text: str) -> None:
+        self.out.write(text + "\n")
+        self.count += 1
+
+    def comment(self, text: str) -> None:
+        self.line(f"# {text}")
+
+
+def _export_session(writer: _Writer, session: Session) -> None:
+    """Emit one directed session and its policies.
+
+    C-BGP configures peers bidirectionally; we emit per-direction ``peer``
+    statements (receiver side declares the peer) so each direction's
+    filters stay attached to the right endpoint.
+    """
+    dst_ip = format_router_id(session.dst.router_id)
+    src_ip = format_router_id(session.src.router_id)
+    writer.line(f"bgp router {dst_ip} add peer {session.src.asn} {src_ip}")
+    if session.import_map is not None and len(session.import_map):
+        _export_route_map(writer, session.import_map, dst_ip, src_ip, "in")
+    if session.export_map is not None and len(session.export_map):
+        _export_route_map(writer, session.export_map, src_ip, dst_ip, "out")
+
+
+def _export_route_map(
+    writer: _Writer, route_map: RouteMap, owner_ip: str, peer_ip: str, direction: str
+) -> None:
+    """Emit the clauses of one route-map as C-BGP filter rules."""
+    for clause in route_map.clauses():
+        prelude = f'bgp router {owner_ip} peer {peer_ip} filter {direction}'
+        writer.line(f"{prelude} add-rule")
+        writer.line(f'  match "{_match_expr(clause)}"')
+        writer.line(f"  action {_action_expr(clause)}")
+        if clause.tag:
+            writer.line(f"  # tag {clause.tag}")
+        writer.line("  exit")
+
+
+def _match_expr(clause: Clause) -> str:
+    """The C-BGP match expression for a clause."""
+    match = clause.match
+    terms = []
+    if match.prefix is not None:
+        terms.append(f"prefix is {match.prefix}")
+    if match.path_len_lt is not None:
+        terms.append(f"path-length < {match.path_len_lt}")
+    if match.path_len_gt is not None:
+        terms.append(f"path-length > {match.path_len_gt}")
+    if match.from_asn is not None:
+        terms.append(f"neighbor-as is {match.from_asn}")
+    if match.from_router is not None:
+        terms.append(f"neighbor is {format_router_id(match.from_router)}")
+    if match.path_contains is not None:
+        terms.append(f'path ".* {match.path_contains} .*"')
+    if match.path_regex is not None:
+        terms.append(f"path-regex <{match.path_regex}>")
+    if match.community is not None:
+        terms.append(f"community is {match.community}")
+    return " & ".join(terms) if terms else "any"
+
+
+def _action_expr(clause: Clause) -> str:
+    """The C-BGP action expression for a clause."""
+    if clause.action is Action.DENY:
+        return '"deny"'
+    actions = []
+    if clause.set_local_pref is not None:
+        actions.append(f"local-pref {clause.set_local_pref}")
+    if clause.set_med is not None:
+        actions.append(f"metric {clause.set_med}")
+    if clause.prepend:
+        actions.append(f"as-path prepend {clause.prepend}")
+    if clause.strip_communities:
+        actions.append("community strip")
+    for community in sorted(clause.add_communities):
+        actions.append(f"community add {community}")
+    if not actions:
+        return '"accept"'
+    return '"' + ", ".join(actions) + '"'

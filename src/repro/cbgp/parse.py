@@ -1,0 +1,195 @@
+"""Parse the C-BGP-style dialect written by :mod:`repro.cbgp.export`.
+
+The parser rebuilds a :class:`~repro.bgp.Network`: nodes, IGP links, BGP
+routers, per-direction peer filters and network originations.  Router ids
+are recovered from the dotted-quad node addresses (high 16 bits = ASN).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, TextIO
+
+from repro.bgp.network import Network
+from repro.bgp.policy import Action, Clause, Match
+from repro.bgp.router import Router, router_id_asn, router_id_index
+from repro.errors import ParseError
+from repro.net.ip import ip_from_string
+from repro.net.prefix import Prefix
+
+_RULE_HEAD = re.compile(
+    r"^bgp router (\S+) peer (\S+) filter (in|out) add-rule$"
+)
+
+
+def parse_script(source: TextIO | Iterable[str]) -> Network:
+    """Parse a script produced by :func:`repro.cbgp.export.export_network`."""
+    network = Network(name="parsed")
+    routers_by_ip: dict[int, Router] = {}
+    pending_rule: _PendingRule | None = None
+
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if pending_rule is not None:
+            if line == "exit":
+                pending_rule.install()
+                pending_rule = None
+            elif line.startswith("match "):
+                pending_rule.match_text = line[len("match ") :].strip().strip('"')
+            elif line.startswith("action "):
+                pending_rule.action_text = line[len("action ") :].strip().strip('"')
+            else:
+                raise ParseError(f"unexpected line inside add-rule: {line!r}")
+            continue
+
+        if line.startswith("net add node "):
+            ip = ip_from_string(line.split()[3])
+            _ensure_router(network, routers_by_ip, ip)
+        elif line.startswith("net add link "):
+            _, _, _, ip_a, ip_b, cost = line.split()
+            a = _ensure_router(network, routers_by_ip, ip_from_string(ip_a))
+            b = _ensure_router(network, routers_by_ip, ip_from_string(ip_b))
+            if a.asn != b.asn:
+                raise ParseError(f"IGP link across ASes: {line!r}")
+            network.ases[a.asn].igp.add_link(a.router_id, b.router_id, float(cost))
+        elif line.startswith("bgp add router "):
+            _, _, _, asn_text, ip_text = line.split()
+            router = _ensure_router(network, routers_by_ip, ip_from_string(ip_text))
+            if router.asn != int(asn_text):
+                raise ParseError(
+                    f"ASN mismatch for {ip_text}: declared {asn_text}, "
+                    f"encoded {router.asn}"
+                )
+        elif " add peer " in line:
+            head, _, tail = line.partition(" add peer ")
+            owner_ip = head.split()[2]
+            _, peer_ip = tail.split()
+            dst = _ensure_router(network, routers_by_ip, ip_from_string(owner_ip))
+            src = _ensure_router(network, routers_by_ip, ip_from_string(peer_ip))
+            if network.get_session(src, dst) is None:
+                network.add_session(src, dst)
+        elif " add network " in line:
+            head, _, prefix_text = line.partition(" add network ")
+            owner_ip = head.split()[2]
+            router = _ensure_router(network, routers_by_ip, ip_from_string(owner_ip))
+            network.originate(router, Prefix(prefix_text.strip()))
+        else:
+            rule = _RULE_HEAD.match(line)
+            if rule:
+                pending_rule = _PendingRule(
+                    network, routers_by_ip, rule.group(1), rule.group(2), rule.group(3)
+                )
+            else:
+                raise ParseError(f"unrecognised line: {line!r}")
+    if pending_rule is not None:
+        raise ParseError("unterminated add-rule block")
+    return network
+
+
+def _ensure_router(
+    network: Network, routers_by_ip: dict[int, Router], router_id: int
+) -> Router:
+    """Return (creating if needed) the router with the encoded id."""
+    router = routers_by_ip.get(router_id)
+    if router is not None:
+        return router
+    asn = router_id_asn(router_id)
+    index = router_id_index(router_id)
+    node = network.add_as(asn)
+    while len(node.routers) < index:
+        router = network.add_router(asn)
+        routers_by_ip[router.router_id] = router
+    return routers_by_ip[router_id]
+
+
+class _PendingRule:
+    """An add-rule block being accumulated."""
+
+    def __init__(self, network, routers_by_ip, owner_ip, peer_ip, direction):
+        self.network = network
+        self.routers_by_ip = routers_by_ip
+        self.owner_ip = owner_ip
+        self.peer_ip = peer_ip
+        self.direction = direction
+        self.match_text = "any"
+        self.action_text = "accept"
+
+    def install(self) -> None:
+        """Attach the parsed clause to the right session route-map."""
+        owner = _ensure_router(
+            self.network, self.routers_by_ip, ip_from_string(self.owner_ip)
+        )
+        peer = _ensure_router(
+            self.network, self.routers_by_ip, ip_from_string(self.peer_ip)
+        )
+        if self.direction == "in":
+            session = self.network.get_session(peer, owner)
+            if session is None:
+                session = self.network.add_session(peer, owner)
+            route_map = session.ensure_import_map()
+        else:
+            session = self.network.get_session(owner, peer)
+            if session is None:
+                session = self.network.add_session(owner, peer)
+            route_map = session.ensure_export_map()
+        route_map.append(
+            Clause(match=_parse_match(self.match_text), **_parse_action(self.action_text))
+        )
+
+
+def _parse_match(text: str) -> Match:
+    """Parse a match expression back into a :class:`Match`."""
+    if text == "any":
+        return Match()
+    kwargs: dict = {}
+    for term in text.split(" & "):
+        term = term.strip()
+        if term.startswith("prefix is "):
+            kwargs["prefix"] = Prefix(term[len("prefix is ") :])
+        elif term.startswith("path-length < "):
+            kwargs["path_len_lt"] = int(term[len("path-length < ") :])
+        elif term.startswith("path-length > "):
+            kwargs["path_len_gt"] = int(term[len("path-length > ") :])
+        elif term.startswith("neighbor-as is "):
+            kwargs["from_asn"] = int(term[len("neighbor-as is ") :])
+        elif term.startswith("neighbor is "):
+            kwargs["from_router"] = ip_from_string(term[len("neighbor is ") :])
+        elif term.startswith('path "'):
+            inner = term[len('path "') : -1]
+            kwargs["path_contains"] = int(inner.strip(". *"))
+        elif term.startswith("path-regex <"):
+            kwargs["path_regex"] = term[len("path-regex <") : -1]
+        elif term.startswith("community is "):
+            kwargs["community"] = int(term[len("community is ") :])
+        else:
+            raise ParseError(f"unrecognised match term: {term!r}")
+    return Match(**kwargs)
+
+
+def _parse_action(text: str) -> dict:
+    """Parse an action expression into Clause keyword arguments."""
+    if text == "deny":
+        return {"action": Action.DENY}
+    kwargs: dict = {"action": Action.PERMIT}
+    if text == "accept":
+        return kwargs
+    communities: set[int] = set()
+    for part in text.split(", "):
+        part = part.strip()
+        if part.startswith("local-pref "):
+            kwargs["set_local_pref"] = int(part[len("local-pref ") :])
+        elif part.startswith("metric "):
+            kwargs["set_med"] = int(part[len("metric ") :])
+        elif part.startswith("as-path prepend "):
+            kwargs["prepend"] = int(part[len("as-path prepend ") :])
+        elif part == "community strip":
+            kwargs["strip_communities"] = True
+        elif part.startswith("community add "):
+            communities.add(int(part[len("community add ") :]))
+        else:
+            raise ParseError(f"unrecognised action: {part!r}")
+    if communities:
+        kwargs["add_communities"] = frozenset(communities)
+    return kwargs

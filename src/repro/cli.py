@@ -1,0 +1,221 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror the paper's workflow:
+
+* ``repro synthesize`` — generate a synthetic Internet, simulate ground
+  truth, and write a bgpdump-style RIB snapshot (plus optionally the
+  ground-truth C-BGP config).
+* ``repro analyze`` — Section 3 analysis of a dump: dataset summary,
+  level-1 clique, classification, pruning, Figure 2 / Table 1 statistics.
+* ``repro refine`` — build and refine an AS-routing model from a dump,
+  evaluate on a held-out split, and optionally save the model as a
+  C-BGP-style config.
+* ``repro whatif`` — load a saved model and predict the impact of
+  removing an AS adjacency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bgp.engine import simulate
+from repro.cbgp.export import export_network
+from repro.cbgp.parse import parse_script
+from repro.core.build import build_initial_model
+from repro.core.metrics import MatchKind
+from repro.core.model import ASRoutingModel
+from repro.core.predict import evaluate_model
+from repro.core.refine import Refiner
+from repro.core.split import split_by_observation_points
+from repro.core.whatif import depeer
+from repro.data.dumps import read_table_dump, write_table_dump
+from repro.data.observation import collect_dataset, select_observation_points
+from repro.data.synthesis import SyntheticConfig, synthesize_internet
+from repro.topology.classify import classify_ases
+from repro.topology.clique import infer_level1_clique
+from repro.topology.diversity import route_diversity_report
+from repro.topology.graph import ASGraph
+from repro.topology.prune import prune_single_homed_stubs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quasi-router AS-topology modelling (SIGCOMM'06 reproduction)",
+    )
+    subparsers = parser.add_subparsers(title="subcommands")
+
+    synth = subparsers.add_parser(
+        "synthesize", help="generate a synthetic Internet and RIB dump"
+    )
+    synth.add_argument("--seed", type=int, default=42)
+    synth.add_argument("--scale", type=float, default=0.3,
+                       help="population scale factor relative to the default config")
+    synth.add_argument("--points", type=int, default=30,
+                       help="number of observation ASes")
+    synth.add_argument("--out", required=True, help="dump file to write")
+    synth.add_argument("--cbgp", help="also write the ground-truth config here")
+    synth.set_defaults(handler=cmd_synthesize)
+
+    analyze = subparsers.add_parser("analyze", help="Section 3 dump analysis")
+    analyze.add_argument("dump", help="bgpdump -m style file")
+    analyze.add_argument("--seeds", type=int, nargs="*", default=[],
+                         help="known tier-1 seed ASNs")
+    analyze.set_defaults(handler=cmd_analyze)
+
+    refine = subparsers.add_parser("refine", help="build + refine a model")
+    refine.add_argument("dump", help="bgpdump -m style file")
+    refine.add_argument("--train-fraction", type=float, default=0.5)
+    refine.add_argument("--split-seed", type=int, default=0)
+    refine.add_argument("--max-iterations", type=int, default=60)
+    refine.add_argument("--out", help="write the refined model config here")
+    refine.set_defaults(handler=cmd_refine)
+
+    whatif = subparsers.add_parser("whatif", help="predict a link removal")
+    whatif.add_argument("model", help="model config written by 'repro refine --out'")
+    whatif.add_argument("--remove", type=int, nargs=2, metavar=("ASN_A", "ASN_B"),
+                        required=True)
+    whatif.add_argument("--max-changes", type=int, default=10,
+                        help="how many changed pairs to print")
+    whatif.set_defaults(handler=cmd_whatif)
+    return parser
+
+
+def cmd_synthesize(args) -> int:
+    """Handle ``repro synthesize``."""
+    config = SyntheticConfig(seed=args.seed).scaled(args.scale)
+    internet = synthesize_internet(config)
+    print(f"synthesized {internet.network}", file=sys.stderr)
+    started = time.perf_counter()
+    stats = simulate(internet.network)
+    print(
+        f"ground truth converged: {stats.messages} messages in "
+        f"{time.perf_counter() - started:.1f}s",
+        file=sys.stderr,
+    )
+    points = select_observation_points(internet, args.points, seed=args.seed)
+    dataset = collect_dataset(internet.network, points)
+    lines = write_table_dump(dataset, args.out)
+    print(f"wrote {lines} RIB entries to {args.out}", file=sys.stderr)
+    print(f"tier-1 seed ASNs: {' '.join(map(str, internet.level1_asns[:3]))}")
+    if args.cbgp:
+        with open(args.cbgp, "w", encoding="ascii") as handle:
+            export_network(internet.network, handle)
+        print(f"wrote ground-truth config to {args.cbgp}", file=sys.stderr)
+    return 0
+
+
+def _load_pruned(dump_path: str, seeds: list[int]):
+    """Shared dump -> cleaned/pruned dataset pipeline for analyze/refine."""
+    parsed = read_table_dump(dump_path)
+    dataset = parsed.dataset.cleaned()
+    graph = ASGraph.from_dataset(dataset)
+    if not seeds:
+        # fall back to the highest-degree AS as the seed
+        seeds = [max(graph.ases(), key=graph.degree)]
+    level1 = infer_level1_clique(graph, seeds)
+    classification = classify_ases(dataset, graph, level1)
+    pruned = prune_single_homed_stubs(dataset, graph, classification)
+    return parsed, dataset, graph, level1, classification, pruned
+
+
+def cmd_analyze(args) -> int:
+    """Handle ``repro analyze``."""
+    parsed, dataset, graph, level1, classification, pruned = _load_pruned(
+        args.dump, args.seeds
+    )
+    print(f"parsed lines:      {parsed.lines} "
+          f"(skipped: {parsed.skipped_as_set} AS_SET, "
+          f"{parsed.skipped_malformed} malformed)")
+    for key, value in dataset.summary().items():
+        print(f"  {key:<20} {value}")
+    print(f"level-1 clique:    {sorted(level1)}")
+    for key, value in classification.summary().items():
+        print(f"  {key:<20} {value}")
+    print(
+        f"pruned:            {len(pruned.pruned_asns)} single-homed stubs, "
+        f"{pruned.transferred_routes} routes transferred"
+    )
+    report = route_diversity_report(dataset)
+    print(f"multipath pairs:   {report.fraction_pairs_multipath:.1%}")
+    print("table 1 quantiles: "
+          + ", ".join(f"p{p:.0f}={v}" for p, v in report.table1().items()))
+    return 0
+
+
+def cmd_refine(args) -> int:
+    """Handle ``repro refine``."""
+    from repro.core.refine import RefinementConfig
+
+    _, _, _, _, _, pruned = _load_pruned(args.dump, [])
+    training, validation = split_by_observation_points(
+        pruned.dataset, args.train_fraction, seed=args.split_seed
+    )
+    model = build_initial_model(pruned.dataset, pruned.graph)
+    refiner = Refiner(
+        model, training, RefinementConfig(max_iterations=args.max_iterations)
+    )
+    started = time.perf_counter()
+    result = refiner.run()
+    print(
+        f"refinement: {result.iteration_count} iterations, "
+        f"converged={result.converged}, {time.perf_counter() - started:.1f}s"
+    )
+    print(f"model: {model}")
+    for label, dataset in (("training", training), ("validation", validation)):
+        report = evaluate_model(model, dataset)
+        print(
+            f"{label:<11} cases={report.total} "
+            f"rib-out={report.rib_out_rate:.1%} "
+            f"potential={report.rate(MatchKind.POTENTIAL_RIB_OUT):.1%} "
+            f"tie-break+={report.tie_break_or_better_rate:.1%} "
+            f"rib-in+={report.rib_in_or_better_rate:.1%}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as handle:
+            export_network(model.network, handle)
+        print(f"wrote model config to {args.out}")
+    return 0 if result.converged else 1
+
+
+def cmd_whatif(args) -> int:
+    """Handle ``repro whatif``."""
+    with open(args.model, "r", encoding="ascii") as handle:
+        network = parse_script(handle)
+    model = ASRoutingModel.from_network(network)
+    asn_a, asn_b = args.remove
+    report = depeer(model, asn_a, asn_b)
+    print(f"what-if: {report.description}")
+    print(
+        f"  examined {report.origins_examined} origins x "
+        f"{report.observers_examined} observers"
+    )
+    print(f"  changed pairs:      {report.affected_pairs}")
+    print(f"  lost reachability:  {report.unreachable_pairs}")
+    for change in report.changes[: args.max_changes]:
+        print(f"  AS{change.observer_asn} -> AS{change.origin_asn}:")
+        for path in sorted(change.before):
+            print(f"    before: {' '.join(map(str, path))}")
+        if change.after:
+            for path in sorted(change.after):
+                print(f"    after:  {' '.join(map(str, path))}")
+        else:
+            print("    after:  (unreachable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Initial-model construction (Section 4.5).
+
+"To derive the initial model we use all available BGP feeds, training as
+well as validation, to derive an AS-graph from the AS-path information...
+Initially, all ASes consist of a single quasi-router, and peerings are
+established according to the edges of the AS graph."
+"""
+
+from __future__ import annotations
+
+from repro.bgp.network import Network
+from repro.core.model import ASRoutingModel
+from repro.topology.dataset import PathDataset
+from repro.topology.graph import ASGraph
+
+
+def build_initial_model(
+    dataset: PathDataset,
+    graph: ASGraph | None = None,
+) -> ASRoutingModel:
+    """Build the one-quasi-router-per-AS model from observed paths.
+
+    ``graph`` may be supplied when the AS graph was already extracted (and
+    possibly pruned); otherwise it is derived from ``dataset``.  Every AS
+    in the graph originates one canonical prefix, matching the paper's
+    one-prefix-per-AS simplification.
+    """
+    if graph is None:
+        graph = ASGraph.from_dataset(dataset)
+    network = Network(name="as-routing-model")
+    for asn in sorted(graph.ases()):
+        network.add_router(asn)
+    for a, b in sorted(graph.edges()):
+        router_a = network.as_routers(a)[0]
+        router_b = network.as_routers(b)[0]
+        network.connect(router_a, router_b)
+    model = ASRoutingModel(network=network, graph=graph)
+    for asn in sorted(graph.ases()):
+        model.add_origin(asn)
+    network.validate()
+    return model

@@ -1,0 +1,148 @@
+"""The AS-routing model object (Section 4.1).
+
+An :class:`ASRoutingModel` wraps a quasi-router :class:`~repro.bgp.Network`
+together with the AS graph it realizes and the canonical one-prefix-per-AS
+origination scheme.  The model's decision process always compares MED
+across neighbours and has no IGP (quasi-routers are isolated), per
+Section 4.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.decision import DecisionConfig
+from repro.bgp.engine import EngineStats, simulate, simulate_prefix
+from repro.bgp.network import Network
+from repro.bgp.router import Router
+from repro.errors import SimulationError, TopologyError
+from repro.net.prefix import Prefix, prefix_for_asn
+from repro.topology.graph import ASGraph
+
+MODEL_DECISION_CONFIG = DecisionConfig(med_always_compare=True, use_igp_cost=False)
+"""Decision process used by the model: always-compare MED, no IGP step."""
+
+
+@dataclass
+class ASRoutingModel:
+    """A quasi-router topology plus per-prefix policies."""
+
+    network: Network
+    graph: ASGraph
+    prefix_by_origin: dict[int, Prefix] = field(default_factory=dict)
+    origin_by_prefix: dict[Prefix, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_network(cls, network: Network) -> "ASRoutingModel":
+        """Rebuild a model from a bare quasi-router network.
+
+        Used when loading a persisted model from a C-BGP-style config:
+        the AS graph is recovered from the eBGP adjacencies and the
+        origin mapping from the canonical-prefix encoding (the high 16
+        bits of the network address are the origin ASN, see
+        :func:`repro.net.prefix.prefix_for_asn`).
+        """
+        graph = ASGraph.from_edges(network.as_adjacencies())
+        for asn in network.ases:
+            graph.add_as(asn)
+        model = cls(network=network, graph=graph)
+        for prefix in network.prefixes():
+            origin = prefix.network >> 16
+            if origin not in network.ases:
+                raise TopologyError(
+                    f"prefix {prefix} does not encode a known origin AS"
+                )
+            model.prefix_by_origin[origin] = prefix
+            model.origin_by_prefix[prefix] = origin
+        return model
+
+    def canonical_prefix(self, origin_asn: int) -> Prefix:
+        """The model prefix standing in for all prefixes of ``origin_asn``."""
+        try:
+            return self.prefix_by_origin[origin_asn]
+        except KeyError:
+            raise TopologyError(f"AS {origin_asn} originates nothing in the model") from None
+
+    def origin_of(self, prefix: Prefix) -> int:
+        """The AS originating the canonical ``prefix``."""
+        try:
+            return self.origin_by_prefix[prefix]
+        except KeyError:
+            raise TopologyError(f"{prefix} is not a model prefix") from None
+
+    def add_origin(self, asn: int) -> Prefix:
+        """Originate the canonical prefix for ``asn`` at all its quasi-routers."""
+        if asn in self.prefix_by_origin:
+            return self.prefix_by_origin[asn]
+        prefix = prefix_for_asn(asn) if asn <= 0xFFFF else Prefix(asn & 0xFFFFFF00, 24)
+        self.prefix_by_origin[asn] = prefix
+        self.origin_by_prefix[prefix] = asn
+        for router in self.network.as_routers(asn):
+            self.network.originate(router, prefix)
+        return prefix
+
+    def quasi_routers(self, asn: int) -> list[Router]:
+        """The quasi-routers of AS ``asn``."""
+        return self.network.as_routers(asn)
+
+    def quasi_router_counts(self) -> dict[int, int]:
+        """Number of quasi-routers per AS (the Section 5 model-size view)."""
+        return {asn: len(node.routers) for asn, node in self.network.ases.items()}
+
+    def policy_clause_count(self) -> int:
+        """Total number of route-map clauses installed in the model."""
+        total = 0
+        for session in self.network.sessions.values():
+            if session.import_map is not None:
+                total += len(session.import_map)
+            if session.export_map is not None:
+                total += len(session.export_map)
+        return total
+
+    def simulate_all(
+        self,
+        max_messages: int | None = None,
+        tolerate_divergence: bool = False,
+    ) -> EngineStats:
+        """Simulate every canonical prefix to convergence.
+
+        With ``tolerate_divergence`` a prefix whose simulation exceeds the
+        message budget (a policy dispute wheel, possible for inferred
+        relationship policies) has its state cleared and is recorded in
+        the returned stats' ``diverged`` list instead of raising.
+        """
+        if not tolerate_divergence:
+            return simulate(self.network, config=MODEL_DECISION_CONFIG,
+                            max_messages=max_messages)
+        stats = EngineStats()
+        for prefix in self.network.prefixes():
+            try:
+                stats.merge(
+                    simulate_prefix(self.network, prefix, MODEL_DECISION_CONFIG,
+                                    max_messages)
+                )
+            except SimulationError:
+                self.network.clear_prefix(prefix)
+                stats.diverged.append(prefix)
+        return stats
+
+    def simulate_origin(self, origin_asn: int,
+                        max_messages: int | None = None) -> EngineStats:
+        """(Re-)simulate the canonical prefix of one origin AS."""
+        prefix = self.canonical_prefix(origin_asn)
+        return simulate_prefix(self.network, prefix, MODEL_DECISION_CONFIG,
+                               max_messages)
+
+    def stats(self) -> dict[str, int]:
+        """Model size summary."""
+        base = self.network.stats()
+        base["policy_clauses"] = self.policy_clause_count()
+        base["max_quasi_routers"] = max(self.quasi_router_counts().values(), default=0)
+        return base
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ASRoutingModel(ases={stats['ases']}, quasi_routers={stats['routers']}, "
+            f"sessions={stats['sessions']}, clauses={stats['policy_clauses']})"
+        )

@@ -1,0 +1,105 @@
+"""Prediction with a refined model (Sections 4.2 and 4.7).
+
+:func:`evaluate_model` re-simulates every canonical prefix an evaluation
+dataset needs (duplicated quasi-routers change propagation for *all*
+prefixes, so state from before the last topology change would be stale)
+and grades the dataset with the Section 4.2 metrics.
+
+:func:`predict_paths` answers the paper's headline what-if question
+directly: which AS-paths would AS ``observer`` use to reach a prefix of
+AS ``origin``?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.metrics import MatchReport, evaluate_dataset
+from repro.core.model import ASRoutingModel
+from repro.topology.dataset import PathDataset
+
+
+def simulate_for_dataset(model: ASRoutingModel, dataset: PathDataset) -> int:
+    """Simulate the canonical prefix of every origin in ``dataset``.
+
+    Returns the number of prefixes simulated.  Origins missing from the
+    model (possible only if the dataset was not part of graph extraction)
+    are skipped; their paths will grade as no-match.
+    """
+    simulated = 0
+    for origin in sorted(dataset.origin_asns()):
+        if origin in model.prefix_by_origin:
+            model.simulate_origin(origin)
+            simulated += 1
+    return simulated
+
+
+def evaluate_model(
+    model: ASRoutingModel,
+    dataset: PathDataset,
+    resimulate: bool = True,
+) -> MatchReport:
+    """Grade ``dataset`` against ``model`` (fresh simulation by default)."""
+    if resimulate:
+        simulate_for_dataset(model, dataset)
+    valid = dataset.filter_routes(
+        lambda route: route.origin_asn in model.prefix_by_origin
+    )
+    return evaluate_dataset(model, valid)
+
+
+def predict_paths(
+    model: ASRoutingModel,
+    origin_asn: int,
+    observer_asn: int,
+    resimulate: bool = False,
+) -> set[tuple[int, ...]]:
+    """Predicted AS-paths from ``observer_asn`` towards ``origin_asn``.
+
+    Returns the set of full paths (observer first, origin last) selected
+    by the observer's quasi-routers — the route diversity the model
+    predicts the AS would use and propagate.
+    """
+    prefix = model.canonical_prefix(origin_asn)
+    if resimulate:
+        model.simulate_origin(origin_asn)
+    paths: set[tuple[int, ...]] = set()
+    for router in model.quasi_routers(observer_asn):
+        best = router.best(prefix)
+        if best is not None:
+            paths.add((observer_asn,) + best.as_path)
+    return paths
+
+
+def extend_model_for_origins(
+    model: ASRoutingModel,
+    observations: PathDataset,
+    origins: Iterable[int],
+    config=None,
+):
+    """Section 4.7: refine an existing model for new origins' prefixes.
+
+    ``observations`` are routes seen at the *existing* vantage points for
+    the new prefixes (e.g. a previously-unconsidered prefix appearing in
+    the feeds).  Only those origins' canonical prefixes are refined; the
+    rest of the model is untouched.  Returns the refinement result.
+    """
+    from repro.core.refine import RefinementConfig, Refiner
+
+    wanted = set(origins)
+    subset = observations.restrict_origins(wanted)
+    refiner = Refiner(model, subset, config or RefinementConfig())
+    return refiner.run_incremental()
+
+
+def predict_for_origins(
+    model: ASRoutingModel,
+    origins: Iterable[int],
+    observer_asn: int,
+) -> dict[int, set[tuple[int, ...]]]:
+    """Predicted path sets from one observer towards many origins."""
+    return {
+        origin: predict_paths(model, origin, observer_asn)
+        for origin in origins
+        if origin in model.prefix_by_origin
+    }

@@ -1,0 +1,437 @@
+"""The iterative refinement heuristic (Sections 4.3–4.6, Figure 6).
+
+Each iteration compares, per canonical prefix, the AS-paths the current
+model selects with the observed (training) AS-paths, and repairs the AS
+*closest to the origin* where they diverge:
+
+* **RIB-Out match** — a quasi-router already selects the observed suffix:
+  reserve it for this path and walk on towards the observer.
+* **RIB-In match, no RIB-Out** — an unreserved quasi-router learned the
+  suffix but did not select it: install per-prefix policies at that
+  quasi-router (export filters at the announcing neighbours that deny
+  shorter AS-paths, plus an import MED ranking that prefers the neighbour
+  the observed path arrives from).  If every learning quasi-router is
+  reserved for a different suffix, duplicate one and install the policies
+  on the clone.
+* **no RIB-In match** — the suffix has not propagated this far yet.  If
+  the announcing neighbour already selects its suffix, delete any
+  previously-installed egress filter that blocks the propagation
+  (Figure 7); otherwise wait for a later iteration.
+
+All changes of one iteration are computed against the pre-iteration
+simulation state, then the affected prefixes are re-simulated — exactly
+the "apply heuristic, compute changes / restart simulations" cycle of
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.policy import Action, Clause, Match
+from repro.bgp.router import Router
+from repro.core.model import ASRoutingModel
+from repro.errors import RefinementError
+from repro.net.prefix import Prefix
+from repro.topology.dataset import PathDataset
+
+FILTER_TAG = "refine-filter"
+RANK_TAG = "refine-rank"
+MED_PREFERRED = 0
+MED_OTHER = 50
+
+
+@dataclass(frozen=True)
+class RefinementConfig:
+    """Tunable behaviour of the refiner.
+
+    The ablation switches turn off individual mechanisms: without
+    ``allow_duplication`` the model stays single-router-per-AS (policies
+    only); without ``allow_policies`` only quasi-router duplication is
+    used; without ``filter_deletion`` stale egress filters are never
+    removed.
+    """
+
+    max_iterations: int = 60
+    patience: int = 5
+    allow_duplication: bool = True
+    allow_policies: bool = True
+    filter_deletion: bool = True
+    install_filters: bool = True
+    install_ranking: bool = True
+
+
+@dataclass
+class IterationStats:
+    """Bookkeeping for one refinement iteration."""
+
+    iteration: int
+    paths_total: int = 0
+    paths_matched: int = 0
+    policies_installed: int = 0
+    routers_added: int = 0
+    filters_deleted: int = 0
+    prefixes_resimulated: int = 0
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of training paths with a RIB-Out match this iteration."""
+        return self.paths_matched / self.paths_total if self.paths_total else 1.0
+
+    @property
+    def changed(self) -> bool:
+        """True if this iteration modified the model."""
+        return bool(
+            self.policies_installed or self.routers_added or self.filters_deleted
+        )
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of a refinement run."""
+
+    model: ASRoutingModel
+    converged: bool
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def final_match_rate(self) -> float:
+        """Training match rate after the last iteration."""
+        return self.iterations[-1].match_rate if self.iterations else 0.0
+
+    @property
+    def iteration_count(self) -> int:
+        """Number of iterations executed."""
+        return len(self.iterations)
+
+
+class Refiner:
+    """Drives iterative refinement of a model against a training dataset."""
+
+    def __init__(
+        self,
+        model: ASRoutingModel,
+        training: PathDataset,
+        config: RefinementConfig = RefinementConfig(),
+    ):
+        self.model = model
+        self.config = config
+        self.targets: dict[int, list[tuple[int, ...]]] = {}
+        for origin, paths in training.unique_paths_by_origin().items():
+            if origin not in model.prefix_by_origin:
+                raise RefinementError(
+                    f"training path origin AS {origin} is not in the model"
+                )
+            # Shorter paths first: the natural (shortest) route keeps the
+            # lowest-id quasi-router and longer alternatives fork off it.
+            self.targets[origin] = sorted(paths, key=lambda p: (len(p), p))
+
+    def run(self, simulate_first: bool = True) -> RefinementResult:
+        """Iterate until every training path has a RIB-Out match.
+
+        Stops early (``converged=False``) when ``max_iterations`` is
+        exhausted or the match count has not improved for ``patience``
+        iterations.
+        """
+        if simulate_first:
+            self.model.simulate_all()
+        result = RefinementResult(model=self.model, converged=False)
+        best_matched = -1
+        stale_iterations = 0
+        for iteration in range(1, self.config.max_iterations + 1):
+            stats = self.run_iteration(iteration)
+            result.iterations.append(stats)
+            if stats.paths_matched == stats.paths_total:
+                result.converged = True
+                break
+            if stats.paths_matched > best_matched:
+                best_matched = stats.paths_matched
+                stale_iterations = 0
+            else:
+                stale_iterations += 1
+            if not stats.changed or stale_iterations >= self.config.patience:
+                break
+        return result
+
+    def run_incremental(self) -> RefinementResult:
+        """Extend an already-refined model for this refiner's origins (§4.7).
+
+        Unlike :meth:`run`, only the target origins' canonical prefixes are
+        (re-)simulated up front, so previously-refined prefixes keep their
+        converged state and policies.  Because all refinement policies are
+        per-prefix and quasi-router duplication only adds capacity, the
+        extension cannot invalidate earlier prefixes' training matches —
+        except through new quasi-routers, whose announcements lose every
+        tie against existing ones (they carry higher router ids).
+        """
+        for origin in sorted(self.targets):
+            self.model.simulate_origin(origin)
+        return self.run(simulate_first=False)
+
+    def run_iteration(self, iteration: int = 0) -> IterationStats:
+        """One Figure 6 cycle: grade paths, apply fixes, re-simulate."""
+        stats = IterationStats(iteration=iteration)
+        dirty: set[int] = set()
+        for origin in sorted(self.targets):
+            prefix = self.model.canonical_prefix(origin)
+            reserved: dict[int, tuple[int, ...]] = {}
+            origin_changed = False
+            for path in self.targets[origin]:
+                stats.paths_total += 1
+                matched, changed = self._process_path(
+                    prefix, path, reserved, stats
+                )
+                stats.paths_matched += matched
+                origin_changed |= changed
+            if origin_changed:
+                dirty.add(origin)
+        for origin in sorted(dirty):
+            self.model.simulate_origin(origin)
+            stats.prefixes_resimulated += 1
+        return stats
+
+    # ------------------------------------------------------------------
+    # Per-path processing
+    # ------------------------------------------------------------------
+
+    def _process_path(
+        self,
+        prefix: Prefix,
+        path: tuple[int, ...],
+        reserved: dict[int, tuple[int, ...]],
+        stats: IterationStats,
+    ) -> tuple[bool, bool]:
+        """Walk ``path`` origin-first; fix the first divergent AS.
+
+        Returns (fully-matched, model-changed).  ``reserved`` maps
+        quasi-router ids to the route suffix they are responsible for; a
+        quasi-router can serve any number of paths that share its suffix.
+        """
+        for position in range(len(path) - 1, -1, -1):
+            asn = path[position]
+            target = path[position + 1 :]
+            routers = self.model.quasi_routers(asn)
+
+            selecting = [
+                router
+                for router in routers
+                if (best := router.best(prefix)) is not None
+                and best.as_path == target
+            ]
+            available = [
+                router
+                for router in selecting
+                if reserved.get(router.router_id, target) == target
+            ]
+            if available:
+                chosen = min(available, key=lambda router: router.router_id)
+                reserved[chosen.router_id] = target
+                continue
+
+            learning = [
+                router
+                for router in routers
+                if any(
+                    route.as_path == target
+                    for route in router.candidates(prefix)
+                )
+            ]
+            free = [
+                router
+                for router in learning
+                if reserved.get(router.router_id, target) == target
+            ]
+            if free:
+                if not self.config.allow_policies:
+                    return False, False
+                chosen = min(free, key=lambda router: router.router_id)
+                changed = self._install_policies(
+                    chosen, prefix, target, reserved, stats
+                )
+                reserved[chosen.router_id] = target
+                return False, changed
+            if learning:
+                if not self.config.allow_duplication:
+                    return False, False
+                source = min(learning, key=lambda router: router.router_id)
+                clone = self.model.network.duplicate_router(source)
+                stats.routers_added += 1
+                if self.config.allow_policies:
+                    self._install_policies(clone, prefix, target, reserved, stats)
+                else:
+                    self._clear_refine_clauses(clone, prefix)
+                reserved[clone.router_id] = target
+                return False, True
+
+            # No RIB-In anywhere in this AS: the suffix has not propagated.
+            changed = False
+            if self.config.filter_deletion and target:
+                changed = self._delete_blocking_filters(asn, prefix, target, stats)
+            return False, changed
+
+        return True, False
+
+    # ------------------------------------------------------------------
+    # Policy manipulation
+    # ------------------------------------------------------------------
+
+    def _install_policies(
+        self,
+        router: Router,
+        prefix: Prefix,
+        target: tuple[int, ...],
+        reserved: dict[int, tuple[int, ...]],
+        stats: IterationStats,
+    ) -> bool:
+        """Make ``router`` select a route with AS-path ``target`` (§4.6).
+
+        Export filters at every announcing neighbour deny routes for the
+        prefix with an AS-path shorter than the target's; an import MED
+        ranking prefers routes announced by the target's first-hop AS.
+        Stale refinement clauses for this prefix (inherited by clones or
+        left from earlier reassignments) are removed first.
+
+        When the announcing neighbour AS has several quasi-routers that
+        announce *different* same-length routes, the AS-level MED ranking
+        of Section 4.6 cannot separate them, so the ranking is keyed to
+        the neighbour quasi-router reserved for the target's tail (a
+        per-session rather than per-AS MED — see DESIGN.md).
+
+        Returns False when identical policies were already installed (an
+        ineffective repeat that must not mark the prefix dirty, or the
+        refiner would re-simulate it forever).
+        """
+        if not target:
+            return False
+        length = len(target)
+        preferred_asn = target[0]
+        preferred_router = None
+        tail = target[1:]
+        for neighbor_router in self.model.quasi_routers(preferred_asn):
+            if reserved.get(neighbor_router.router_id) == tail:
+                preferred_router = neighbor_router.router_id
+                break
+        if self._policies_already_installed(
+            router, prefix, length, preferred_asn, preferred_router
+        ):
+            return False
+        self._clear_refine_clauses(router, prefix)
+        for session in router.sessions_in:
+            if not session.is_ebgp:
+                continue
+            if self.config.install_filters:
+                session.ensure_export_map().append(
+                    Clause(
+                        Match(prefix=prefix, path_len_lt=length),
+                        Action.DENY,
+                        tag=FILTER_TAG,
+                    )
+                )
+                stats.policies_installed += 1
+            if self.config.install_ranking:
+                if preferred_router is not None:
+                    is_preferred = session.src.router_id == preferred_router
+                else:
+                    is_preferred = session.src.asn == preferred_asn
+                session.ensure_import_map().append(
+                    Clause(
+                        Match(prefix=prefix),
+                        Action.PERMIT,
+                        set_med=MED_PREFERRED if is_preferred else MED_OTHER,
+                        tag=RANK_TAG,
+                    )
+                )
+                stats.policies_installed += 1
+        return True
+
+    def _policies_already_installed(
+        self,
+        router: Router,
+        prefix: Prefix,
+        length: int,
+        preferred_asn: int,
+        preferred_router: int | None,
+    ) -> bool:
+        """True if every session already carries exactly the intended clauses."""
+        for session in router.sessions_in:
+            if not session.is_ebgp:
+                continue
+            if self.config.install_filters:
+                if session.export_map is None:
+                    return False
+                filters = [
+                    clause
+                    for clause in session.export_map.clauses_for_prefix(prefix)
+                    if clause.tag == FILTER_TAG and clause.match.prefix == prefix
+                ]
+                if len(filters) != 1 or filters[0].match.path_len_lt != length:
+                    return False
+            if self.config.install_ranking:
+                if session.import_map is None:
+                    return False
+                ranks = [
+                    clause
+                    for clause in session.import_map.clauses_for_prefix(prefix)
+                    if clause.tag == RANK_TAG and clause.match.prefix == prefix
+                ]
+                if preferred_router is not None:
+                    is_preferred = session.src.router_id == preferred_router
+                else:
+                    is_preferred = session.src.asn == preferred_asn
+                wanted = MED_PREFERRED if is_preferred else MED_OTHER
+                if len(ranks) != 1 or ranks[0].set_med != wanted:
+                    return False
+        return True
+
+    def _clear_refine_clauses(self, router: Router, prefix: Prefix) -> None:
+        """Drop refinement clauses for ``prefix`` on all of ``router``'s sessions."""
+
+        def is_stale(clause: Clause) -> bool:
+            return (
+                clause.tag in (FILTER_TAG, RANK_TAG)
+                and clause.match.prefix == prefix
+            )
+
+        for session in router.sessions_in:
+            if session.export_map is not None:
+                session.export_map.remove_if(is_stale)
+            if session.import_map is not None:
+                session.import_map.remove_if(is_stale)
+
+    def _delete_blocking_filters(
+        self,
+        asn: int,
+        prefix: Prefix,
+        target: tuple[int, ...],
+        stats: IterationStats,
+    ) -> bool:
+        """Figure 7: remove egress filters stopping ``target`` from reaching ``asn``.
+
+        Only applies when the announcing neighbour already has a RIB-Out
+        match for its own suffix; then any refinement filter on a session
+        from that neighbour into this AS that would deny the target path
+        (its length threshold exceeds the target's length) is removed.
+        """
+        neighbor_asn = target[0]
+        neighbor_target = target[1:]
+        neighbor_selects = any(
+            (best := router.best(prefix)) is not None
+            and best.as_path == neighbor_target
+            for router in self.model.quasi_routers(neighbor_asn)
+        )
+        if not neighbor_selects:
+            return False
+        length = len(target)
+        removed = 0
+        for router in self.model.quasi_routers(asn):
+            for session in router.sessions_in:
+                if session.src.asn != neighbor_asn or session.export_map is None:
+                    continue
+                removed += session.export_map.remove_if(
+                    lambda clause: clause.tag == FILTER_TAG
+                    and clause.match.prefix == prefix
+                    and clause.match.path_len_lt is not None
+                    and clause.match.path_len_lt > length
+                )
+        stats.filters_deleted += removed
+        return removed > 0

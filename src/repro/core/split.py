@@ -1,0 +1,66 @@
+"""Training/validation splits (Section 4.2).
+
+Two slicing strategies:
+
+* by observation point — "We divide the available BGP data randomly into
+  two subsets by assigning observation points to either subset";
+* by originating AS — "split the set of AS-paths according to the
+  originating ASes", used to test prediction for unobserved prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import DatasetError
+from repro.topology.dataset import PathDataset
+
+
+def split_by_observation_points(
+    dataset: PathDataset,
+    training_fraction: float = 0.5,
+    seed: int = 0,
+) -> tuple[PathDataset, PathDataset]:
+    """Randomly assign observation points to (training, validation).
+
+    Every route observed at a point follows its point.  Both sides are
+    guaranteed non-empty (requires at least two observation points).
+    """
+    if not 0.0 < training_fraction < 1.0:
+        raise ValueError(f"training_fraction must be in (0, 1): {training_fraction}")
+    points = sorted(dataset.observation_points())
+    if len(points) < 2:
+        raise DatasetError("need at least two observation points to split")
+    rng = random.Random(seed)
+    rng.shuffle(points)
+    cut = round(len(points) * training_fraction)
+    cut = min(max(cut, 1), len(points) - 1)
+    training_points = set(points[:cut])
+    training = dataset.restrict_points(training_points)
+    validation = dataset.restrict_points(set(points[cut:]))
+    return training, validation
+
+
+def split_by_origin(
+    dataset: PathDataset,
+    training_fraction: float = 0.5,
+    seed: int = 0,
+) -> tuple[PathDataset, PathDataset]:
+    """Randomly assign origin ASes to (training, validation).
+
+    The validation side contains only routes for prefixes whose origin AS
+    contributed nothing to training — the "previously unconsidered
+    prefixes" scenario of Section 4.7.
+    """
+    if not 0.0 < training_fraction < 1.0:
+        raise ValueError(f"training_fraction must be in (0, 1): {training_fraction}")
+    origins = sorted(dataset.origin_asns())
+    if len(origins) < 2:
+        raise DatasetError("need at least two origin ASes to split")
+    rng = random.Random(seed)
+    rng.shuffle(origins)
+    cut = round(len(origins) * training_fraction)
+    cut = min(max(cut, 1), len(origins) - 1)
+    training = dataset.restrict_origins(origins[:cut])
+    validation = dataset.restrict_origins(origins[cut:])
+    return training, validation

@@ -1,0 +1,131 @@
+"""What-if analysis (the motivating application of Section 1).
+
+"What if a certain peering link was removed, or what-if we change
+policies thus?" — given a refined model, :func:`depeer` removes every
+session between two ASes, re-simulates, and reports which predicted paths
+change at which observation ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.model import ASRoutingModel
+from repro.errors import TopologyError
+
+
+@dataclass
+class PathChange:
+    """One (observer, origin) pair whose predicted path set changed."""
+
+    observer_asn: int
+    origin_asn: int
+    before: frozenset[tuple[int, ...]]
+    after: frozenset[tuple[int, ...]]
+
+    @property
+    def lost_reachability(self) -> bool:
+        """True if the observer can no longer reach the origin at all."""
+        return bool(self.before) and not self.after
+
+
+@dataclass
+class WhatIfReport:
+    """Outcome of a what-if experiment."""
+
+    description: str
+    changes: list[PathChange] = field(default_factory=list)
+    origins_examined: int = 0
+    observers_examined: int = 0
+
+    @property
+    def affected_pairs(self) -> int:
+        """Number of (observer, origin) pairs whose paths changed."""
+        return len(self.changes)
+
+    @property
+    def unreachable_pairs(self) -> int:
+        """Pairs that lost reachability entirely."""
+        return sum(1 for change in self.changes if change.lost_reachability)
+
+
+def _snapshot(
+    model: ASRoutingModel, origins: list[int], observers: list[int]
+) -> dict[tuple[int, int], frozenset[tuple[int, ...]]]:
+    """Best-path sets for every (observer, origin) pair."""
+    snapshot: dict[tuple[int, int], frozenset[tuple[int, ...]]] = {}
+    for origin in origins:
+        prefix = model.canonical_prefix(origin)
+        for observer in observers:
+            paths = set()
+            for router in model.quasi_routers(observer):
+                best = router.best(prefix)
+                if best is not None:
+                    paths.add((observer,) + best.as_path)
+            snapshot[(observer, origin)] = frozenset(paths)
+    return snapshot
+
+
+def depeer(
+    model: ASRoutingModel,
+    asn_a: int,
+    asn_b: int,
+    origins: Iterable[int] | None = None,
+    observers: Iterable[int] | None = None,
+) -> WhatIfReport:
+    """Remove the peering between ``asn_a`` and ``asn_b`` and re-predict.
+
+    The model is modified in place (all sessions between the two ASes are
+    torn down, and the AS edge leaves the graph).  ``origins`` and
+    ``observers`` default to every AS originating a canonical prefix and
+    every AS, respectively — restrict them for large models.
+    """
+    return simulate_link_failure(model, [(asn_a, asn_b)], origins, observers)
+
+
+def simulate_link_failure(
+    model: ASRoutingModel,
+    as_edges: list[tuple[int, int]],
+    origins: Iterable[int] | None = None,
+    observers: Iterable[int] | None = None,
+) -> WhatIfReport:
+    """Remove several AS-level adjacencies at once and report path changes."""
+    origin_list = sorted(origins) if origins is not None else sorted(
+        model.prefix_by_origin
+    )
+    observer_list = sorted(observers) if observers is not None else sorted(
+        model.network.ases
+    )
+    for origin in origin_list:
+        model.simulate_origin(origin)
+    before = _snapshot(model, origin_list, observer_list)
+
+    removed_sessions = 0
+    for asn_a, asn_b in as_edges:
+        if not model.graph.has_edge(asn_a, asn_b):
+            raise TopologyError(f"no adjacency between AS {asn_a} and AS {asn_b}")
+        for router_a in list(model.quasi_routers(asn_a)):
+            for session in list(router_a.sessions_out):
+                if session.dst.asn == asn_b:
+                    model.network.disconnect(router_a, session.dst)
+                    removed_sessions += 1
+        model.graph.remove_edge(asn_a, asn_b)
+
+    for origin in origin_list:
+        model.simulate_origin(origin)
+    after = _snapshot(model, origin_list, observer_list)
+
+    description = ", ".join(f"AS{a}-AS{b}" for a, b in as_edges)
+    report = WhatIfReport(
+        description=f"removed {description} ({removed_sessions} sessions)",
+        origins_examined=len(origin_list),
+        observers_examined=len(observer_list),
+    )
+    for key in sorted(before):
+        if before[key] != after[key]:
+            observer, origin = key
+            report.changes.append(
+                PathChange(observer, origin, before[key], after[key])
+            )
+    return report

@@ -1,0 +1,35 @@
+"""Synthetic BGP measurement data (the RouteViews/RIPE substitute).
+
+The paper consumes RIB dumps from >1300 real observation points.  Offline,
+this package generates the equivalent: a tiered synthetic Internet with
+ground-truth topology, intra-AS structure and policies (including
+deliberately non-standard ones), a ground-truth BGP simulation, a set of
+observation points biased towards the core, and bgpdump-style table dumps.
+
+Everything downstream of :func:`collect_dataset` sees only observed
+AS-paths, exactly as the paper's pipeline sees only BGP feeds.
+"""
+
+from repro.data.synthesis import (
+    SyntheticConfig,
+    SyntheticInternet,
+    synthesize_internet,
+)
+from repro.data.observation import (
+    ObservationPoint,
+    collect_dataset,
+    select_observation_points,
+)
+from repro.data.dumps import read_table_dump, write_table_dump, SNAPSHOT_TIME
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticInternet",
+    "synthesize_internet",
+    "ObservationPoint",
+    "select_observation_points",
+    "collect_dataset",
+    "read_table_dump",
+    "write_table_dump",
+    "SNAPSHOT_TIME",
+]

@@ -1,0 +1,98 @@
+"""Observation points and RIB collection.
+
+An observation point is one BGP feed: a monitor peering with one router
+inside an observation AS (Section 3.1).  Selection is biased towards the
+core ("There are relatively more observation points in the level-1 and
+level-2 ASes than in the other ASes") and roughly 30% of observation ASes
+get feeds from multiple routers, matching the paper's dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bgp.network import Network
+from repro.data.synthesis import SyntheticInternet
+from repro.net.aspath import ASPath
+from repro.topology.classify import Level
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+LEVEL_WEIGHTS = {Level.LEVEL1: 8.0, Level.LEVEL2: 4.0, Level.OTHER: 1.0}
+MULTI_POINT_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class ObservationPoint:
+    """One BGP feed: (id, observer AS, monitored router)."""
+
+    point_id: str
+    asn: int
+    router_id: int
+
+
+def select_observation_points(
+    internet: SyntheticInternet,
+    n_ases: int,
+    seed: int = 7,
+    level_weights: dict[Level, float] | None = None,
+    multi_point_fraction: float = MULTI_POINT_FRACTION,
+) -> list[ObservationPoint]:
+    """Choose observation points in ``n_ases`` distinct ASes.
+
+    Within each chosen AS one router is monitored; in a
+    ``multi_point_fraction`` share of the chosen ASes (those with several
+    routers) two or more routers are monitored, giving the multi-feed ASes
+    of Section 3.1.
+    """
+    rng = random.Random(seed)
+    weights = level_weights or LEVEL_WEIGHTS
+    candidates = sorted(internet.network.ases)
+    n_ases = min(n_ases, len(candidates))
+
+    chosen_ases: list[int] = []
+    pool = list(candidates)
+    while len(chosen_ases) < n_ases and pool:
+        pool_weights = [weights.get(internet.levels[asn], 1.0) for asn in pool]
+        asn = rng.choices(pool, weights=pool_weights, k=1)[0]
+        pool.remove(asn)
+        chosen_ases.append(asn)
+
+    points: list[ObservationPoint] = []
+    for asn in sorted(chosen_ases):
+        routers = internet.network.as_routers(asn)
+        if len(routers) > 1 and rng.random() < multi_point_fraction:
+            count = rng.randint(2, len(routers))
+        else:
+            count = 1
+        for position, router in enumerate(rng.sample(routers, count)):
+            points.append(
+                ObservationPoint(f"op-{asn}-{position}", asn, router.router_id)
+            )
+    return points
+
+
+def collect_dataset(
+    network: Network,
+    points: list[ObservationPoint],
+    include_own_prefixes: bool = True,
+) -> PathDataset:
+    """Snapshot every observation point's best routes into a dataset.
+
+    The recorded AS-path is what the monitor would receive over its feed
+    session: the observation AS prepended to the monitored router's best
+    path.  Prefixes with no route at the router are skipped (exactly like
+    a missing RIB entry).
+    """
+    dataset = PathDataset()
+    for point in points:
+        router = network.routers[point.router_id]
+        for prefix in network.prefixes():
+            best = router.best(prefix)
+            if best is None:
+                continue
+            if not include_own_prefixes and not best.as_path:
+                continue
+            path = ASPath((point.asn,) + best.as_path)
+            dataset.add(ObservedRoute(point.point_id, point.asn, prefix, path))
+    return dataset

@@ -1,0 +1,498 @@
+"""Synthetic Internet generation.
+
+The generator builds a three-level provider hierarchy mirroring the
+composition the paper measures in Section 3.1 (a tier-1 clique, level-2
+providers attached to it, further transit ASes, and a large population of
+single- and multi-homed stubs), realizes every AS as one or more border
+routers with an IGP and full-mesh iBGP, and installs ground-truth
+policies:
+
+* standard customer/peer/provider local-pref and export filters,
+* a configurable fraction of "weird" sessions with non-standard
+  preferences (the policies that break pure relationship models),
+* selective announcements (origins that withhold their prefix from one
+  provider),
+* per-link MED (cold-potato) on some multi-link customer edges,
+* AS-path prepending by some stubs (so the dataset exercises cleaning).
+
+Route diversity then emerges for the same reasons as in the real
+Internet: multiple inter-AS links between different router pairs,
+hot-potato (IGP-cost) egress selection, and policy asymmetries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bgp.network import ASNode, Network
+from repro.bgp.policy import Action, Clause, Match
+from repro.errors import TopologyError
+from repro.net.prefix import Prefix, prefix_for_asn
+from repro.relationships.types import Relationship, RelationshipMap
+from repro.topology.classify import Level
+
+LEVEL1_ASN_BASE = 10
+LEVEL2_ASN_BASE = 100
+OTHER_ASN_BASE = 1000
+STUB_ASN_BASE = 10000
+
+LOCAL_PREF_CUSTOMER = 100
+LOCAL_PREF_PEER = 90
+LOCAL_PREF_PROVIDER = 80
+
+TAG_FROM_CUSTOMER = (0xFFFB << 16) | 1
+TAG_FROM_PEER = (0xFFFB << 16) | 2
+TAG_FROM_PROVIDER = (0xFFFB << 16) | 3
+
+GROUND_TRUTH_TAG = "ground-truth"
+WEIRD_TAG = "weird"
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic Internet.
+
+    The defaults produce a ~230-AS Internet that runs in seconds; the
+    benchmark workloads scale the counts up.
+    """
+
+    seed: int = 42
+    n_level1: int = 6
+    n_level2: int = 20
+    n_other: int = 50
+    n_stub: int = 150
+    multi_homed_stub_fraction: float = 0.62
+    routers_level1: tuple[int, int] = (3, 6)
+    routers_level2: tuple[int, int] = (2, 4)
+    routers_other: tuple[int, int] = (1, 3)
+    routers_stub: tuple[int, int] = (1, 2)
+    level2_providers: tuple[int, int] = (1, 3)
+    other_providers: tuple[int, int] = (1, 3)
+    multi_stub_providers: tuple[int, int] = (2, 3)
+    level2_peering_prob: float = 0.20
+    other_peering_prob: float = 0.08
+    extra_link_prob: float = 0.5
+    max_parallel_links: int = 3
+    igp_cost_range: tuple[int, int] = (1, 10)
+    igp_extra_edge_prob: float = 0.3
+    weird_session_fraction: float = 0.08
+    selective_announce_fraction: float = 0.15
+    cold_potato_fraction: float = 0.25
+    prepend_fraction: float = 0.06
+    sibling_pair_count: int = 2
+    prefixes_per_as: tuple[int, int] = (1, 3)
+    route_reflection_threshold: int = 0
+    """ASes with at least this many routers use RFC 4456 route reflection
+    instead of a full iBGP mesh (0 disables; reflection can hide routes,
+    which is additional — realistic — intra-AS opacity)."""
+
+    def scaled(self, factor: float) -> "SyntheticConfig":
+        """A copy with AS population counts scaled by ``factor``."""
+        return SyntheticConfig(
+            seed=self.seed,
+            n_level1=max(3, round(self.n_level1 * min(factor, 2.0))),
+            n_level2=max(4, round(self.n_level2 * factor)),
+            n_other=max(4, round(self.n_other * factor)),
+            n_stub=max(6, round(self.n_stub * factor)),
+            multi_homed_stub_fraction=self.multi_homed_stub_fraction,
+            routers_level1=self.routers_level1,
+            routers_level2=self.routers_level2,
+            routers_other=self.routers_other,
+            routers_stub=self.routers_stub,
+            level2_providers=self.level2_providers,
+            other_providers=self.other_providers,
+            multi_stub_providers=self.multi_stub_providers,
+            level2_peering_prob=self.level2_peering_prob,
+            other_peering_prob=self.other_peering_prob,
+            extra_link_prob=self.extra_link_prob,
+            max_parallel_links=self.max_parallel_links,
+            igp_cost_range=self.igp_cost_range,
+            igp_extra_edge_prob=self.igp_extra_edge_prob,
+            weird_session_fraction=self.weird_session_fraction,
+            selective_announce_fraction=self.selective_announce_fraction,
+            cold_potato_fraction=self.cold_potato_fraction,
+            prepend_fraction=self.prepend_fraction,
+            sibling_pair_count=self.sibling_pair_count,
+            prefixes_per_as=self.prefixes_per_as,
+            route_reflection_threshold=self.route_reflection_threshold,
+        )
+
+
+@dataclass
+class SyntheticInternet:
+    """The generated ground truth."""
+
+    config: SyntheticConfig
+    network: Network
+    levels: dict[int, Level]
+    relationships: RelationshipMap
+    prefixes_by_as: dict[int, list[Prefix]] = field(default_factory=dict)
+    weird_sessions: list[int] = field(default_factory=list)
+    selective_origins: list[int] = field(default_factory=list)
+    prepending_origins: list[int] = field(default_factory=list)
+
+    def level_asns(self, level: Level) -> list[int]:
+        """ASNs at the given hierarchy level, sorted."""
+        return sorted(asn for asn, lvl in self.levels.items() if lvl is level)
+
+    @property
+    def level1_asns(self) -> list[int]:
+        """The ground-truth tier-1 clique."""
+        return self.level_asns(Level.LEVEL1)
+
+    def origin_of(self, prefix: Prefix) -> int:
+        """The AS originating ``prefix``."""
+        for asn, prefixes in self.prefixes_by_as.items():
+            if prefix in prefixes:
+                return asn
+        raise TopologyError(f"prefix {prefix} not originated in this internet")
+
+
+def synthesize_internet(config: SyntheticConfig = SyntheticConfig()) -> SyntheticInternet:
+    """Generate a synthetic Internet from ``config`` (deterministic in seed)."""
+    rng = random.Random(config.seed)
+    network = Network(name=f"synthetic-{config.seed}")
+    levels: dict[int, Level] = {}
+    relationships = RelationshipMap()
+
+    level1 = [LEVEL1_ASN_BASE + i for i in range(config.n_level1)]
+    level2 = [LEVEL2_ASN_BASE + i for i in range(config.n_level2)]
+    other = [OTHER_ASN_BASE + i for i in range(config.n_other)]
+    stubs = [STUB_ASN_BASE + i for i in range(config.n_stub)]
+
+    for asn in level1:
+        levels[asn] = Level.LEVEL1
+    for asn in level2:
+        levels[asn] = Level.LEVEL2
+    for asn in other + stubs:
+        levels[asn] = Level.OTHER
+
+    router_ranges = {
+        Level.LEVEL1: config.routers_level1,
+        Level.LEVEL2: config.routers_level2,
+    }
+    for asn in level1 + level2 + other + stubs:
+        if asn in stubs:
+            low, high = config.routers_stub
+        elif asn in other:
+            low, high = config.routers_other
+        else:
+            low, high = router_ranges[levels[asn]]
+        _build_as(network, asn, rng.randint(low, high), rng, config)
+
+    edges: list[tuple[int, int, Relationship]] = []
+
+    # Tier-1 clique: full mesh of peerings.
+    for i, a in enumerate(level1):
+        for b in level1[i + 1 :]:
+            edges.append((a, b, Relationship.PEER))
+
+    customer_counts: dict[int, int] = {asn: 0 for asn in level1 + level2 + other}
+
+    def pick_providers(pool: list[int], count: int) -> list[int]:
+        """Mildly preferential attachment: weight by 1 + count/4.
+
+        The damping keeps the degree distribution skewed (hub providers
+        exist) without making the hierarchy so star-like that alternative
+        paths differ in length and the path-length decision step destroys
+        every tie.
+        """
+        chosen: list[int] = []
+        candidates = list(pool)
+        for _ in range(min(count, len(candidates))):
+            weights = [1 + customer_counts[asn] / 4 for asn in candidates]
+            provider = rng.choices(candidates, weights=weights, k=1)[0]
+            candidates.remove(provider)
+            chosen.append(provider)
+            customer_counts[provider] += 1
+        return chosen
+
+    for asn in level2:
+        for provider in pick_providers(level1, rng.randint(*config.level2_providers)):
+            edges.append((provider, asn, Relationship.CUSTOMER))
+    for i, a in enumerate(level2):
+        for b in level2[i + 1 :]:
+            if rng.random() < config.level2_peering_prob:
+                edges.append((a, b, Relationship.PEER))
+
+    for asn in other:
+        pool = level2 if rng.random() < 0.9 else level1
+        for provider in pick_providers(pool, rng.randint(*config.other_providers)):
+            edges.append((provider, asn, Relationship.CUSTOMER))
+    for i, a in enumerate(other):
+        for b in other[i + 1 :]:
+            if rng.random() < config.other_peering_prob:
+                edges.append((a, b, Relationship.PEER))
+
+    n_multi = round(len(stubs) * config.multi_homed_stub_fraction)
+    for position, asn in enumerate(stubs):
+        if position < n_multi:
+            count = rng.randint(*config.multi_stub_providers)
+        else:
+            count = 1
+        pool = other if rng.random() < 0.7 else level2
+        for provider in pick_providers(pool, count):
+            edges.append((provider, asn, Relationship.CUSTOMER))
+
+    # A few sibling pairs among the level-2/other transit ASes.
+    sibling_candidates = level2 + other
+    for _ in range(config.sibling_pair_count):
+        a, b = rng.sample(sibling_candidates, 2)
+        if not any({a, b} == {x, y} for x, y, _ in edges):
+            edges.append((a, b, Relationship.SIBLING))
+
+    # Deduplicate AS edges (keep the first relationship assigned).
+    seen_pairs: set[tuple[int, int]] = set()
+    for a, b, rel in edges:
+        key = (min(a, b), max(a, b))
+        if key in seen_pairs:
+            continue
+        seen_pairs.add(key)
+        relationships.set(a, b, rel)
+        _connect_ases(network, a, b, rel, rng, config)
+
+    internet = SyntheticInternet(
+        config=config,
+        network=network,
+        levels=levels,
+        relationships=relationships,
+    )
+    _originate_prefixes(internet, rng)
+    _install_weird_policies(internet, rng)
+    network.validate()
+    return internet
+
+
+def _build_as(
+    network: Network, asn: int, n_routers: int, rng: random.Random,
+    config: SyntheticConfig,
+) -> ASNode:
+    """Create an AS with ``n_routers`` routers, a connected IGP and iBGP mesh."""
+    node = network.add_as(asn)
+    routers = [network.add_router(asn) for _ in range(n_routers)]
+    low, high = config.igp_cost_range
+    for position, router in enumerate(routers[1:], start=1):
+        parent = routers[rng.randrange(position)]
+        node.igp.add_link(
+            router.router_id, parent.router_id, rng.randint(low, high)
+        )
+    for i, a in enumerate(routers):
+        for b in routers[i + 1 :]:
+            if (
+                b.router_id not in node.igp.neighbors(a.router_id)
+                and rng.random() < config.igp_extra_edge_prob
+            ):
+                node.igp.add_link(a.router_id, b.router_id, rng.randint(low, high))
+    threshold = config.route_reflection_threshold
+    if threshold and n_routers >= threshold:
+        n_reflectors = 2 if n_routers >= threshold + 2 else 1
+        network.ibgp_route_reflection(
+            routers[:n_reflectors], routers[n_reflectors:]
+        )
+    else:
+        network.ibgp_full_mesh(asn)
+    return node
+
+
+def _connect_ases(
+    network: Network,
+    a: int,
+    b: int,
+    rel_of_b_from_a: Relationship,
+    rng: random.Random,
+    config: SyntheticConfig,
+) -> None:
+    """Wire one or more router-pair links between ASes ``a`` and ``b``."""
+    routers_a = network.as_routers(a)
+    routers_b = network.as_routers(b)
+    max_links = min(len(routers_a), len(routers_b), config.max_parallel_links)
+    n_links = 1
+    while n_links < max_links and rng.random() < config.extra_link_prob:
+        n_links += 1
+    picks_a = rng.sample(routers_a, n_links)
+    picks_b = rng.sample(routers_b, n_links)
+    for router_a, router_b in zip(picks_a, picks_b):
+        session_ab, session_ba = network.connect(router_a, router_b)
+        _install_standard_policies(session_ab, rel_of_b_from_a.inverse())
+        _install_standard_policies(session_ba, rel_of_b_from_a)
+
+    # Cold-potato: on some multi-link customer->provider edges the customer
+    # sets different MEDs per link so the provider prefers one entry point.
+    if n_links > 1 and rng.random() < config.cold_potato_fraction:
+        if rel_of_b_from_a is Relationship.CUSTOMER:
+            customer_routers, provider = picks_b, a
+        elif rel_of_b_from_a is Relationship.PROVIDER:
+            customer_routers, provider = picks_a, b
+        else:
+            return
+        for position, router in enumerate(customer_routers):
+            for session in router.sessions_out:
+                if session.dst.asn == provider:
+                    session.ensure_export_map().append(
+                        Clause(
+                            Match(),
+                            Action.PERMIT,
+                            set_med=10 * position,
+                            tag=GROUND_TRUTH_TAG,
+                        )
+                    )
+
+
+def _install_standard_policies(session, rel_of_src_from_dst: Relationship) -> None:
+    """Ground-truth relationship policies for one directed session.
+
+    ``rel_of_src_from_dst``: what the announcing router's AS is from the
+    receiver's point of view (CUSTOMER = routes from my customer).
+    """
+    if rel_of_src_from_dst is Relationship.SIBLING:
+        # Siblings act as one organisation: the received route keeps the
+        # relationship class it had inside the sibling (communities are
+        # relayed, not stripped) and is ranked accordingly.  This keeps the
+        # overall preference structure hierarchical, so BGP convergence is
+        # preserved (a flat "sibling" local-pref can form dispute wheels).
+        import_map = session.ensure_import_map()
+        import_map.append(
+            Clause(
+                Match(community=TAG_FROM_PROVIDER),
+                Action.PERMIT,
+                set_local_pref=LOCAL_PREF_PROVIDER,
+                tag=GROUND_TRUTH_TAG,
+            )
+        )
+        import_map.append(
+            Clause(
+                Match(community=TAG_FROM_PEER),
+                Action.PERMIT,
+                set_local_pref=LOCAL_PREF_PEER,
+                tag=GROUND_TRUTH_TAG,
+            )
+        )
+        import_map.append(
+            Clause(
+                Match(),
+                Action.PERMIT,
+                set_local_pref=LOCAL_PREF_CUSTOMER,
+                add_communities=frozenset((TAG_FROM_CUSTOMER,)),
+                tag=GROUND_TRUTH_TAG,
+            )
+        )
+        # Siblings exchange all routes: no export filter.
+        return
+    settings = {
+        Relationship.CUSTOMER: (LOCAL_PREF_CUSTOMER, TAG_FROM_CUSTOMER),
+        Relationship.PEER: (LOCAL_PREF_PEER, TAG_FROM_PEER),
+        Relationship.PROVIDER: (LOCAL_PREF_PROVIDER, TAG_FROM_PROVIDER),
+        Relationship.UNKNOWN: (LOCAL_PREF_PEER, TAG_FROM_PEER),
+    }
+    local_pref, tag = settings[rel_of_src_from_dst]
+    session.ensure_import_map().append(
+        Clause(
+            Match(),
+            Action.PERMIT,
+            set_local_pref=local_pref,
+            add_communities=frozenset((tag,)),
+            strip_communities=True,
+            tag=GROUND_TRUTH_TAG,
+        )
+    )
+    # Export side: when the receiver is a peer or provider of the sender,
+    # the sender only announces customer routes and its own routes.
+    rel_of_dst_from_src = rel_of_src_from_dst.inverse()
+    if rel_of_dst_from_src in (Relationship.PEER, Relationship.PROVIDER):
+        export_map = session.ensure_export_map()
+        for community in (TAG_FROM_PEER, TAG_FROM_PROVIDER):
+            export_map.append(
+                Clause(Match(community=community), Action.DENY, tag=GROUND_TRUTH_TAG)
+            )
+
+
+def _originate_prefixes(internet: SyntheticInternet, rng: random.Random) -> None:
+    """Originate 1..k prefixes per AS at every border router of the AS."""
+    low, high = internet.config.prefixes_per_as
+    for asn in sorted(internet.network.ases):
+        count = rng.randint(low, high)
+        prefixes = [prefix_for_asn(asn, index) for index in range(count)]
+        internet.prefixes_by_as[asn] = prefixes
+        for prefix in prefixes:
+            for router in internet.network.as_routers(asn):
+                internet.network.originate(router, prefix)
+
+
+def _install_weird_policies(internet: SyntheticInternet, rng: random.Random) -> None:
+    """Layer non-standard policies on top of the relationship defaults."""
+    config = internet.config
+    network = internet.network
+
+    # Weird sessions: a random local-pref that ignores the relationship
+    # (e.g. a provider route preferred over a customer route).
+    ebgp_sessions = sorted(
+        (s for s in network.ebgp_sessions()), key=lambda s: s.session_id
+    )
+    n_weird = round(len(ebgp_sessions) * config.weird_session_fraction)
+    for session in rng.sample(ebgp_sessions, n_weird):
+        session.ensure_import_map().append(
+            Clause(
+                Match(),
+                Action.PERMIT,
+                set_local_pref=rng.choice((70, 85, 95, 105, 110)),
+                tag=WEIRD_TAG,
+            )
+        )
+        internet.weird_sessions.append(session.session_id)
+
+    # Selective announcement: some multi-homed origins withhold prefixes
+    # from one of their providers — a *different* provider per prefix, the
+    # per-prefix traffic engineering that makes prefixes of the same origin
+    # travel different paths (one of the diversity sources of Section 3.2).
+    multi_homed_origins = [
+        asn
+        for asn in sorted(network.ases)
+        if len(_provider_asns(internet, asn)) > 1
+    ]
+    n_selective = round(len(multi_homed_origins) * config.selective_announce_fraction)
+    for asn in rng.sample(multi_homed_origins, min(n_selective, len(multi_homed_origins))):
+        providers = sorted(_provider_asns(internet, asn))
+        for prefix in internet.prefixes_by_as[asn]:
+            blocked = rng.choice(providers)
+            for router in network.as_routers(asn):
+                for session in router.sessions_out:
+                    if session.is_ebgp and session.dst.asn == blocked:
+                        session.ensure_export_map().append(
+                            Clause(Match(prefix=prefix), Action.DENY, tag=WEIRD_TAG)
+                        )
+        internet.selective_origins.append(asn)
+
+    # Prepending: some origins pad the AS-path towards one provider, again
+    # per prefix (backup-link traffic engineering).
+    candidates = [
+        asn for asn in multi_homed_origins if asn not in internet.selective_origins
+    ]
+    n_prepend = round(len(network.ases) * config.prepend_fraction)
+    for asn in rng.sample(candidates, min(n_prepend, len(candidates))):
+        providers = sorted(_provider_asns(internet, asn))
+        for prefix in internet.prefixes_by_as[asn]:
+            padded = rng.choice(providers)
+            for router in network.as_routers(asn):
+                for session in router.sessions_out:
+                    if session.is_ebgp and session.dst.asn == padded:
+                        session.ensure_export_map().append(
+                            Clause(
+                                Match(prefix=prefix),
+                                Action.PERMIT,
+                                prepend=rng.randint(1, 2),
+                                tag=WEIRD_TAG,
+                            )
+                        )
+        internet.prepending_origins.append(asn)
+
+
+def _provider_asns(internet: SyntheticInternet, asn: int) -> set[int]:
+    """Ground-truth provider ASNs of ``asn``."""
+    providers: set[int] = set()
+    for a, b, rel in internet.relationships.edges():
+        if a == asn and rel is Relationship.PROVIDER:
+            providers.add(b)
+        elif b == asn and rel is Relationship.CUSTOMER:
+            providers.add(a)
+    return providers

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library errors without
+accidentally swallowing programming mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError, ValueError):
+    """Raised when textual input (addresses, paths, dumps, configs) is malformed."""
+
+
+class TopologyError(ReproError):
+    """Raised for inconsistent topology operations (unknown AS, duplicate session, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a BGP simulation cannot proceed (non-convergence, bad state)."""
+
+
+class RefinementError(ReproError):
+    """Raised when the iterative refinement heuristic cannot make progress."""
+
+
+class DatasetError(ReproError):
+    """Raised for inconsistent observed-path datasets (empty training set, ...)."""

@@ -1,0 +1,43 @@
+"""Shared (cached) model construction for the experiment modules.
+
+Refining a model is the expensive step several experiments share
+(Tables 3-5, Figure 8, the ablations), so the refined model for a
+prepared workload is built once and reused.  Experiments that mutate the
+model (what-if) must request ``fresh=True``.
+"""
+
+from __future__ import annotations
+
+from repro.core.build import build_initial_model
+from repro.core.model import ASRoutingModel
+from repro.core.refine import RefinementConfig, RefinementResult, Refiner
+from repro.experiments.workloads import PreparedWorkload
+
+_CACHE: dict[tuple[int, str], tuple[ASRoutingModel, RefinementResult]] = {}
+
+
+def initial_model(prepared: PreparedWorkload) -> ASRoutingModel:
+    """A fresh single-quasi-router-per-AS model for the workload."""
+    return build_initial_model(prepared.model_dataset, prepared.model_graph.copy())
+
+
+def refined_model(
+    prepared: PreparedWorkload,
+    config: RefinementConfig = RefinementConfig(),
+    fresh: bool = False,
+) -> tuple[ASRoutingModel, RefinementResult]:
+    """The model refined on the workload's training split (cached)."""
+    key = (id(prepared), repr(config))
+    if not fresh and key in _CACHE:
+        return _CACHE[key]
+    model = initial_model(prepared)
+    refiner = Refiner(model, prepared.training, config)
+    result = refiner.run()
+    if not fresh:
+        _CACHE[key] = (model, result)
+    return model, result
+
+
+def clear_cache() -> None:
+    """Forget all cached refined models."""
+    _CACHE.clear()

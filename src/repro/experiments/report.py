@@ -1,0 +1,71 @@
+"""Plain-text result rendering shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned fixed-width text table."""
+    columns = len(headers)
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1%}" if 0 <= value <= 1 else f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: structured rows plus a rendered report."""
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one result row."""
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note (paper reference values, caveats)."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The full text report for this experiment."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.metrics:
+            parts.append(
+                "\n".join(
+                    f"  {key} = {_format_cell(value)}"
+                    for key, value in sorted(self.metrics.items())
+                )
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,62 @@
+"""Scaling study (Section 4.1's C-BGP cost note).
+
+The paper reports that C-BGP simulates one prefix over ~16,500 routers in
+14,500 ASes in 2-45 minutes with 0.2-2 GB of memory.  This experiment
+measures our engine's cost as the synthetic Internet grows, reporting
+per-prefix message counts and wall-clock time so the (near-linear in
+sessions) scaling trend is visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bgp.engine import simulate
+from repro.data.synthesis import synthesize_internet
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import Workload, DEFAULT
+
+
+def run(
+    base: Workload = DEFAULT,
+    factors: tuple[float, ...] = (0.25, 0.5, 1.0),
+) -> ExperimentResult:
+    """Simulate ground truth at several scales and record engine cost."""
+    result = ExperimentResult(
+        experiment_id="SCAL",
+        title="Engine cost vs. topology scale (ground-truth simulation)",
+        headers=[
+            "scale",
+            "ASes",
+            "routers",
+            "sessions",
+            "prefixes",
+            "messages",
+            "msgs/prefix",
+            "seconds",
+        ],
+    )
+    for factor in factors:
+        workload = base.scaled(factor)
+        internet = synthesize_internet(workload.config)
+        stats_before = internet.network.stats()
+        started = time.perf_counter()
+        stats = simulate(internet.network)
+        elapsed = time.perf_counter() - started
+        result.add_row(
+            f"x{factor}",
+            stats_before["ases"],
+            stats_before["routers"],
+            stats_before["sessions"],
+            stats_before["prefixes"],
+            stats.messages,
+            round(stats.messages / max(stats.prefixes, 1)),
+            f"{elapsed:.2f}s",
+        )
+        result.metrics[f"seconds_x{factor}"] = elapsed
+        result.metrics[f"messages_x{factor}"] = float(stats.messages)
+    result.note(
+        "paper: C-BGP needs 2-45 min / 0.2-2 GB per prefix at 16.5k routers; "
+        "message count per prefix grows roughly linearly with session count"
+    )
+    return result

@@ -1,0 +1,169 @@
+"""Canonical experiment workloads.
+
+A :class:`Workload` fixes every random choice of the pipeline: the
+synthetic Internet, the observation points, and the training/validation
+split.  :func:`prepare` runs the shared, expensive prefix work (ground
+truth simulation, dump collection, cleaning, classification, pruning,
+splits) once per workload and caches the result for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.bgp.engine import simulate
+from repro.data.observation import (
+    ObservationPoint,
+    collect_dataset,
+    select_observation_points,
+)
+from repro.data.synthesis import SyntheticConfig, SyntheticInternet, synthesize_internet
+from repro.topology.classify import ASClassification, classify_ases
+from repro.topology.clique import infer_level1_clique
+from repro.topology.dataset import PathDataset
+from repro.topology.graph import ASGraph
+from repro.topology.prune import PruneResult, prune_single_homed_stubs
+from repro.core.split import split_by_observation_points
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully-determined experiment input."""
+
+    name: str
+    config: SyntheticConfig
+    n_observation_ases: int
+    observation_seed: int = 7
+    multi_point_fraction: float = 0.4
+    split_seed: int = 11
+    training_fraction: float = 0.5
+
+    def scaled(self, factor: float, name: str | None = None) -> "Workload":
+        """A workload with the Internet population scaled by ``factor``."""
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor}",
+            config=self.config.scaled(factor),
+            n_observation_ases=max(4, round(self.n_observation_ases * factor)),
+        )
+
+
+SMALL = Workload(
+    name="small",
+    config=SyntheticConfig(seed=1, n_level1=4, n_level2=8, n_other=14, n_stub=30),
+    n_observation_ases=20,
+    multi_point_fraction=0.5,
+)
+"""Seconds-scale workload used by tests and quick runs."""
+
+DEFAULT = Workload(
+    name="default",
+    config=SyntheticConfig(
+        seed=42, n_level1=5, n_level2=10, n_other=26, n_stub=62,
+        weird_session_fraction=0.12,
+    ),
+    n_observation_ases=30,
+    multi_point_fraction=0.45,
+)
+"""The workload the EXPERIMENTS.md numbers are reported on.
+
+Sized so the full experiment matrix — including the ablations, which
+re-refine the model ten times — completes in minutes on one core; the
+refinement problem is already two orders of magnitude beyond the toy
+figures of the paper (thousands of observed unique paths).
+"""
+
+LARGE = Workload(
+    name="large",
+    config=SyntheticConfig(
+        seed=7, n_level1=6, n_level2=16, n_other=40, n_stub=110,
+        weird_session_fraction=0.12,
+    ),
+    n_observation_ases=45,
+    multi_point_fraction=0.45,
+)
+"""Tens-of-minutes workload (172 ASes) for scaling studies."""
+
+
+@dataclass
+class PreparedWorkload:
+    """Everything downstream experiments need, computed once."""
+
+    workload: Workload
+    internet: SyntheticInternet
+    points: list[ObservationPoint]
+    dataset: PathDataset
+    graph: ASGraph
+    level1: set[int]
+    classification: ASClassification
+    pruned: PruneResult
+    training: PathDataset
+    validation: PathDataset
+    ground_truth_messages: int = 0
+
+    @property
+    def model_dataset(self) -> PathDataset:
+        """The cleaned, pruned dataset models are built from."""
+        return self.pruned.dataset
+
+    @property
+    def model_graph(self) -> ASGraph:
+        """The pruned AS graph models are built on."""
+        return self.pruned.graph
+
+
+_CACHE: dict[tuple, PreparedWorkload] = {}
+
+
+def prepare(workload: Workload = DEFAULT, use_cache: bool = True) -> PreparedWorkload:
+    """Run the shared pipeline for ``workload`` (cached by default)."""
+    key = (
+        workload.name,
+        workload.config,
+        workload.n_observation_ases,
+        workload.observation_seed,
+        workload.multi_point_fraction,
+        workload.split_seed,
+        workload.training_fraction,
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    internet = synthesize_internet(workload.config)
+    stats = simulate(internet.network)
+    points = select_observation_points(
+        internet,
+        workload.n_observation_ases,
+        seed=workload.observation_seed,
+        multi_point_fraction=workload.multi_point_fraction,
+    )
+    dataset = collect_dataset(internet.network, points).cleaned()
+    graph = ASGraph.from_dataset(dataset)
+    seeds = [asn for asn in internet.level1_asns if asn in graph.ases()][:3]
+    level1 = infer_level1_clique(graph, seeds)
+    classification = classify_ases(dataset, graph, level1)
+    pruned = prune_single_homed_stubs(dataset, graph, classification)
+    training, validation = split_by_observation_points(
+        pruned.dataset, workload.training_fraction, seed=workload.split_seed
+    )
+    prepared = PreparedWorkload(
+        workload=workload,
+        internet=internet,
+        points=points,
+        dataset=dataset,
+        graph=graph,
+        level1=level1,
+        classification=classification,
+        pruned=pruned,
+        training=training,
+        validation=validation,
+        ground_truth_messages=stats.messages,
+    )
+    if use_cache:
+        _CACHE[key] = prepared
+    return prepared
+
+
+def clear_cache() -> None:
+    """Forget all prepared workloads (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,90 @@
+"""Forwarding information bases: longest-prefix-match per router.
+
+The control plane works per prefix; the data plane forwards *addresses*.
+A :class:`Fib` snapshots one router's Loc-RIB into a radix trie so that an
+arbitrary IPv4 address resolves — per hop — to the longest matching
+route.  :func:`traceroute_address` runs the hop-by-hop forwarding of
+:mod:`repro.forwarding.trace` but with per-hop LPM resolution, which is
+what real routers do and what makes more-specific-prefix hijack or
+aggregation scenarios expressible.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.attributes import RouteSource
+from repro.bgp.network import Network
+from repro.bgp.route import Route
+from repro.bgp.router import Router
+from repro.forwarding.trace import MAX_HOPS, ForwardingStatus, ForwardingTrace
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+class Fib:
+    """One router's forwarding table (an LPM view of its Loc-RIB)."""
+
+    def __init__(self, router: Router):
+        self.router = router
+        self._trie: PrefixTrie[Route] = PrefixTrie()
+        for prefix, route in router.loc_rib.items():
+            self._trie.insert(prefix, route)
+        for prefix, route in router.local_routes.items():
+            # local routes win over anything learned for the same prefix
+            self._trie.insert(prefix, route)
+
+    def lookup(self, address: int) -> tuple[Prefix, Route] | None:
+        """Longest-prefix match for ``address``."""
+        return self._trie.longest_match(address)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+
+def build_fibs(network: Network) -> dict[int, Fib]:
+    """Snapshot every router's FIB (after the control plane converged)."""
+    return {router_id: Fib(router) for router_id, router in network.routers.items()}
+
+
+def traceroute_address(
+    network: Network,
+    source: Router,
+    address: int,
+    fibs: dict[int, Fib] | None = None,
+) -> ForwardingTrace:
+    """Forward a packet addressed to ``address`` hop by hop via per-hop LPM.
+
+    ``fibs`` may be passed to amortise FIB construction over many traces;
+    otherwise per-hop FIBs are built on the fly.
+    """
+    trace = ForwardingTrace(
+        prefix=Prefix(address, 32), status=ForwardingStatus.UNREACHABLE
+    )
+    visited: set[int] = set()
+    current = source
+    while len(trace.hops) < MAX_HOPS:
+        if current.router_id in visited:
+            trace.status = ForwardingStatus.LOOP
+            return trace
+        visited.add(current.router_id)
+        trace.hops.append(current.router_id)
+
+        fib = fibs.get(current.router_id) if fibs is not None else Fib(current)
+        entry = fib.lookup(address) if fib is not None else None
+        if entry is None:
+            trace.status = ForwardingStatus.UNREACHABLE
+            return trace
+        _prefix, route = entry
+        if route.source is RouteSource.LOCAL:
+            trace.status = ForwardingStatus.DELIVERED
+            return trace
+        if route.source is RouteSource.EBGP:
+            current = network.routers[route.peer_router]
+            continue
+        igp = network.ases[current.asn].igp
+        path = igp.shortest_path(current.router_id, route.next_hop)
+        if path is None or len(path) < 2:
+            trace.status = ForwardingStatus.BROKEN_IGP
+            return trace
+        current = network.routers[path[1]]
+    trace.status = ForwardingStatus.LOOP
+    return trace

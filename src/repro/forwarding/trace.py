@@ -1,0 +1,115 @@
+"""Hop-by-hop packet forwarding (traceroute simulation).
+
+Forwarding semantics:
+
+* at a router that originates the prefix (or whose best route is local),
+  the packet is delivered;
+* a router whose best route was learned over eBGP hands the packet to the
+  announcing external peer router;
+* a router whose best route was learned over iBGP carries the packet along
+  the IGP shortest path towards the route's NEXT_HOP (the egress border
+  router, thanks to next-hop-self); every intermediate router consults its
+  *own* best route, so hot-potato deflections are faithfully modelled;
+* a router with no route drops the packet (UNREACHABLE); revisiting a
+  router is reported as LOOP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import RouteSource
+from repro.bgp.network import Network
+from repro.bgp.router import Router
+from repro.net.prefix import Prefix
+
+
+class ForwardingStatus(enum.Enum):
+    """Terminal state of a forwarding trace."""
+
+    DELIVERED = "delivered"
+    UNREACHABLE = "unreachable"
+    LOOP = "loop"
+    BROKEN_IGP = "broken-igp"
+
+
+@dataclass
+class ForwardingTrace:
+    """The router-level path a packet took."""
+
+    prefix: Prefix
+    status: ForwardingStatus
+    hops: list[int] = field(default_factory=list)
+    """Router ids in traversal order, source first."""
+
+    def as_path(self, network: Network) -> tuple[int, ...]:
+        """The AS-level path (consecutive duplicates collapsed)."""
+        result: list[int] = []
+        for router_id in self.hops:
+            asn = network.routers[router_id].asn
+            if not result or result[-1] != asn:
+                result.append(asn)
+        return tuple(result)
+
+    @property
+    def delivered(self) -> bool:
+        """True if the packet reached an originating router."""
+        return self.status is ForwardingStatus.DELIVERED
+
+
+MAX_HOPS = 256
+
+
+def traceroute(network: Network, source: Router, prefix: Prefix) -> ForwardingTrace:
+    """Forward a packet from ``source`` towards ``prefix``.
+
+    The control plane must already be converged (run the engine first).
+    """
+    trace = ForwardingTrace(prefix=prefix, status=ForwardingStatus.UNREACHABLE)
+    visited: set[int] = set()
+    current = source
+    while len(trace.hops) < MAX_HOPS:
+        if current.router_id in visited:
+            trace.status = ForwardingStatus.LOOP
+            return trace
+        visited.add(current.router_id)
+        trace.hops.append(current.router_id)
+
+        best = current.best(prefix)
+        if best is None:
+            trace.status = ForwardingStatus.UNREACHABLE
+            return trace
+        if best.source is RouteSource.LOCAL:
+            trace.status = ForwardingStatus.DELIVERED
+            return trace
+        if best.source is RouteSource.EBGP:
+            current = network.routers[best.peer_router]
+            continue
+        # iBGP: traverse the IGP towards the egress border router.  Each
+        # intermediate hop re-consults its own Loc-RIB (deflections), so we
+        # only step to the IGP next hop rather than jumping to the egress.
+        igp = network.ases[current.asn].igp
+        path = igp.shortest_path(current.router_id, best.next_hop)
+        if path is None or len(path) < 2:
+            trace.status = ForwardingStatus.BROKEN_IGP
+            return trace
+        current = network.routers[path[1]]
+    trace.status = ForwardingStatus.LOOP
+    return trace
+
+
+def forward_as_path(
+    network: Network, source: Router, prefix: Prefix
+) -> tuple[int, ...] | None:
+    """The AS-level data-plane path from ``source`` to ``prefix``.
+
+    Returns None when the packet is not delivered.  With a consistent
+    control plane (full-mesh iBGP + next-hop-self, as both our substrate
+    and the quasi-router model use) this equals the control-plane choice;
+    discrepancies indicate deflection, which callers can assert against.
+    """
+    trace = traceroute(network, source, prefix)
+    if not trace.delivered:
+        return None
+    return trace.as_path(network)

@@ -1,0 +1,25 @@
+"""Network-layer primitives: IPv4 addresses, prefixes, AS numbers, AS-paths.
+
+These types are deliberately small and fast.  They are used in the inner
+loops of the BGP propagation engine, so addresses and prefixes are plain
+integers wrapped in value classes, and AS-paths are tuples of ``int``.
+"""
+
+from repro.net.ip import IPv4Address, ip_from_string, ip_to_string
+from repro.net.prefix import Prefix
+from repro.net.asn import ASN, format_asdot, parse_asn
+from repro.net.aspath import ASPath
+from repro.net.community import Community, parse_community
+
+__all__ = [
+    "IPv4Address",
+    "ip_from_string",
+    "ip_to_string",
+    "Prefix",
+    "ASN",
+    "format_asdot",
+    "parse_asn",
+    "ASPath",
+    "Community",
+    "parse_community",
+]

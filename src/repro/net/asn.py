@@ -1,0 +1,61 @@
+"""Autonomous-system numbers.
+
+AS numbers are plain ``int`` throughout the library (an alias :data:`ASN`
+documents intent).  This module provides parsing/formatting including the
+RFC 5396 "asdot" notation for 4-byte AS numbers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+
+ASN = int
+"""Type alias: AS numbers are plain integers."""
+
+MAX_ASN = 0xFFFFFFFF
+AS_TRANS = 23456
+"""RFC 4893 placeholder ASN used by 2-byte speakers for 4-byte neighbours."""
+
+PRIVATE_RANGES = ((64512, 65534), (4200000000, 4294967294))
+"""Private-use ASN ranges (RFC 6996)."""
+
+
+def parse_asn(text: str) -> int:
+    """Parse an AS number in asplain (``"3356"``) or asdot (``"1.10"``) form."""
+    text = text.strip()
+    if text.lower().startswith("as"):
+        text = text[2:]
+    if "." in text:
+        high_text, _, low_text = text.partition(".")
+        if not (high_text.isdigit() and low_text.isdigit()):
+            raise ParseError(f"invalid asdot ASN {text!r}")
+        high, low = int(high_text), int(low_text)
+        if high > 0xFFFF or low > 0xFFFF:
+            raise ParseError(f"invalid asdot ASN {text!r}: component > 65535")
+        return (high << 16) | low
+    if not text.isdigit():
+        raise ParseError(f"invalid ASN {text!r}")
+    value = int(text)
+    if value > MAX_ASN:
+        raise ParseError(f"invalid ASN {text!r}: > 2^32-1")
+    return value
+
+
+def format_asdot(asn: int) -> str:
+    """Format ``asn`` in asdot notation (asplain for 2-byte ASNs).
+
+    >>> format_asdot(3356)
+    '3356'
+    >>> format_asdot(65536 + 10)
+    '1.10'
+    """
+    if not 0 <= asn <= MAX_ASN:
+        raise ValueError(f"ASN out of range: {asn}")
+    if asn <= 0xFFFF:
+        return str(asn)
+    return f"{asn >> 16}.{asn & 0xFFFF}"
+
+
+def is_private_asn(asn: int) -> bool:
+    """True if ``asn`` lies in a private-use range."""
+    return any(lo <= asn <= hi for lo, hi in PRIVATE_RANGES)

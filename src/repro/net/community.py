@@ -1,0 +1,99 @@
+"""BGP communities (RFC 1997).
+
+A community is a 32-bit tag conventionally written ``"asn:value"``.  The
+synthetic ground truth uses communities for selective-announcement
+policies (e.g. "do not export to peer X"), one of the non-standard policy
+classes the paper's agnostic model is designed to absorb.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.errors import ParseError
+
+NO_EXPORT = 0xFFFFFF01
+NO_ADVERTISE = 0xFFFFFF02
+NO_EXPORT_SUBCONFED = 0xFFFFFF03
+
+WELL_KNOWN = {
+    NO_EXPORT: "no-export",
+    NO_ADVERTISE: "no-advertise",
+    NO_EXPORT_SUBCONFED: "no-export-subconfed",
+}
+
+
+@total_ordering
+class Community:
+    """An immutable 32-bit BGP community value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int | str, low: int | None = None):
+        if isinstance(value, str):
+            if low is not None:
+                raise TypeError("low must not be given when parsing a string")
+            value = parse_community(value)._value
+        elif low is not None:
+            if not (0 <= value <= 0xFFFF and 0 <= low <= 0xFFFF):
+                raise ValueError(f"community components out of range: {value}:{low}")
+            value = (value << 16) | low
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"community out of range: {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        """The raw 32-bit value."""
+        return self._value
+
+    @property
+    def high(self) -> int:
+        """The high 16 bits (conventionally the tagging AS)."""
+        return self._value >> 16
+
+    @property
+    def low(self) -> int:
+        """The low 16 bits (the AS-local meaning)."""
+        return self._value & 0xFFFF
+
+    def __str__(self) -> str:
+        if self._value in WELL_KNOWN:
+            return WELL_KNOWN[self._value]
+        return f"{self.high}:{self.low}"
+
+    def __repr__(self) -> str:
+        return f"Community({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Community):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "Community | int") -> bool:
+        other_value = other._value if isinstance(other, Community) else other
+        return self._value < other_value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+def parse_community(text: str) -> Community:
+    """Parse ``"asn:value"``, a bare integer, or a well-known name."""
+    text = text.strip()
+    for value, name in WELL_KNOWN.items():
+        if text == name:
+            return Community(value)
+    if ":" in text:
+        high_text, _, low_text = text.partition(":")
+        if not (high_text.isdigit() and low_text.isdigit()):
+            raise ParseError(f"invalid community {text!r}")
+        high, low = int(high_text), int(low_text)
+        if high > 0xFFFF or low > 0xFFFF:
+            raise ParseError(f"invalid community {text!r}: component > 65535")
+        return Community(high, low)
+    if not text.isdigit():
+        raise ParseError(f"invalid community {text!r}")
+    return Community(int(text))

@@ -1,0 +1,96 @@
+"""IPv4 address handling.
+
+Addresses are represented as unsigned 32-bit integers.  The
+:class:`IPv4Address` wrapper provides formatting and ordering; the
+module-level helpers work directly on integers for hot paths.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.errors import ParseError
+
+MAX_IPV4 = 0xFFFFFFFF
+
+
+def ip_from_string(text: str) -> int:
+    """Parse dotted-quad ``text`` into an unsigned 32-bit integer.
+
+    >>> ip_from_string("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ParseError(f"invalid IPv4 address {text!r}: expected 4 octets")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ParseError(f"invalid IPv4 address {text!r}: octet {part!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise ParseError(f"invalid IPv4 address {text!r}: octet {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_to_string(value: int) -> str:
+    """Format unsigned 32-bit integer ``value`` as a dotted quad.
+
+    >>> ip_to_string(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@total_ordering
+class IPv4Address:
+    """An immutable IPv4 address.
+
+    Supports ordering (by numeric value), hashing, and conversion to/from
+    dotted-quad strings.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int | str):
+        if isinstance(value, str):
+            value = ip_from_string(value)
+        if not 0 <= value <= MAX_IPV4:
+            raise ValueError(f"IPv4 address out of range: {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        """The address as an unsigned 32-bit integer."""
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return ip_to_string(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address | int") -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value < other._value
+        if isinstance(other, int):
+            return self._value < other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)

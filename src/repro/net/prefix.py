@@ -1,0 +1,136 @@
+"""IPv4 prefixes (CIDR blocks).
+
+A :class:`Prefix` is an immutable (network, length) pair.  Prefixes are the
+unit of BGP routing: every route, RIB entry and policy clause in this
+library is keyed by a prefix.  The representation is canonical — host bits
+below the mask are forced to zero — so prefixes can be compared and hashed
+directly.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.net.ip import MAX_IPV4, ip_from_string, ip_to_string
+
+
+def _mask(length: int) -> int:
+    """Return the network mask for a prefix of ``length`` bits."""
+    if length == 0:
+        return 0
+    return (MAX_IPV4 << (32 - length)) & MAX_IPV4
+
+
+@total_ordering
+class Prefix:
+    """An immutable IPv4 CIDR prefix such as ``10.1.0.0/16``.
+
+    Prefixes order first by network address, then by length (shorter, i.e.
+    less specific, first), matching the conventional RIB ordering.
+    """
+
+    __slots__ = ("_network", "_length", "_hash")
+
+    def __init__(self, network: int | str, length: int | None = None):
+        if isinstance(network, str):
+            if length is not None:
+                raise TypeError("length must not be given when parsing a string")
+            network, length = _parse_cidr(network)
+        if length is None:
+            raise TypeError("length required when network is an int")
+        if not 0 <= length <= 32:
+            raise ParseError(f"invalid prefix length {length}")
+        if not 0 <= network <= MAX_IPV4:
+            raise ParseError(f"invalid network address {network}")
+        self._length = length
+        self._network = network & _mask(length)
+        self._hash = hash((self._network, self._length))
+
+    @property
+    def network(self) -> int:
+        """Network address as an unsigned 32-bit integer (host bits zero)."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits (0-32)."""
+        return self._length
+
+    @property
+    def netmask(self) -> int:
+        """The network mask as an unsigned 32-bit integer."""
+        return _mask(self._length)
+
+    def contains(self, other: "Prefix | int") -> bool:
+        """True if ``other`` (a prefix or a host address) lies inside this prefix."""
+        if isinstance(other, Prefix):
+            if other._length < self._length:
+                return False
+            return (other._network & self.netmask) == self._network
+        return (other & self.netmask) == self._network
+
+    def supernet(self, new_length: int | None = None) -> "Prefix":
+        """Return the enclosing prefix of ``new_length`` (default: one bit shorter)."""
+        if new_length is None:
+            new_length = self._length - 1
+        if not 0 <= new_length <= self._length:
+            raise ValueError(f"invalid supernet length {new_length} for /{self._length}")
+        return Prefix(self._network, new_length)
+
+    def subnets(self) -> Iterator["Prefix"]:
+        """Yield the two half-size subnets of this prefix."""
+        if self._length >= 32:
+            raise ValueError("cannot subdivide a /32")
+        child_len = self._length + 1
+        yield Prefix(self._network, child_len)
+        yield Prefix(self._network | (1 << (32 - child_len)), child_len)
+
+    def __str__(self) -> str:
+        return f"{ip_to_string(self._network)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return self._network == other._network and self._length == other._length
+        return NotImplemented
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) < (other._network, other._length)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def _parse_cidr(text: str) -> tuple[int, int]:
+    """Parse ``"a.b.c.d/len"`` into a (network, length) pair."""
+    text = text.strip()
+    if "/" not in text:
+        raise ParseError(f"invalid prefix {text!r}: missing '/length'")
+    addr_text, _, len_text = text.partition("/")
+    if not len_text.isdigit():
+        raise ParseError(f"invalid prefix {text!r}: bad length {len_text!r}")
+    length = int(len_text)
+    if length > 32:
+        raise ParseError(f"invalid prefix {text!r}: length {length} > 32")
+    return ip_from_string(addr_text), length
+
+
+def prefix_for_asn(asn: int, index: int = 0) -> Prefix:
+    """Return the canonical synthetic prefix originated by ``asn``.
+
+    The synthetic Internet originates one or more prefixes per AS.  To make
+    dumps human-readable the prefix encodes the AS number in the first two
+    octets and the per-AS index in the third: AS 3356's first prefix is
+    ``13.28.0.0/24``-style (3356 = 0x0D1C -> 13.28).
+    """
+    if not 0 < asn <= 0xFFFF:
+        raise ValueError(f"ASN out of encodable range: {asn}")
+    if not 0 <= index <= 0xFF:
+        raise ValueError(f"prefix index out of range: {index}")
+    return Prefix((asn << 16) | (index << 8), 24)

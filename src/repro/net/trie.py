@@ -1,0 +1,155 @@
+"""A binary radix trie over IPv4 prefixes with longest-prefix match.
+
+This is the lookup structure of a forwarding table: routes are stored per
+prefix and a destination address (or more-specific prefix) resolves to the
+longest covering prefix.  The BGP engine itself works per prefix and does
+not need it, but the data-plane layer and dump tooling do — e.g. mapping
+an arbitrary address onto the canonical /24 it belongs to, or checking
+covering relationships between real-world prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.net.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("zero", "one", "value", "has_value")
+
+    def __init__(self):
+        self.zero: "_Node[V] | None" = None
+        self.one: "_Node[V] | None" = None
+        self.value: V | None = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Map from :class:`Prefix` to values with longest-prefix-match lookup."""
+
+    def __init__(self):
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._walk(prefix)
+        return node is not None and node.has_value
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Store ``value`` under ``prefix`` (replacing any existing value)."""
+        node = self._root
+        for bit in _bits(prefix):
+            if bit:
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: Prefix, default: V | None = None) -> V | None:
+        """Exact-match lookup."""
+        node = self._walk(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return default
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the exact entry for ``prefix``; True if it existed.
+
+        Nodes are not physically pruned — tries in this library are
+        rebuilt, not churned, so simplicity wins over reclaiming a few
+        nodes.
+        """
+        node = self._walk(prefix)
+        if node is None or not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def longest_match(self, target: Prefix | int) -> tuple[Prefix, V] | None:
+        """The most-specific stored prefix covering ``target``.
+
+        ``target`` may be a prefix (matched if the stored prefix contains
+        it) or a bare 32-bit address.
+        """
+        if isinstance(target, Prefix):
+            address, max_length = target.network, target.length
+        else:
+            address, max_length = target, 32
+        node = self._root
+        best: tuple[Prefix, V] | None = None
+        length = 0
+        if node.has_value:
+            best = (Prefix(0, 0), node.value)
+        while length < max_length:
+            bit = (address >> (31 - length)) & 1
+            node = node.one if bit else node.zero
+            if node is None:
+                break
+            length += 1
+            if node.has_value:
+                best = (Prefix(address, length), node.value)
+        return best
+
+    def covering(self, target: Prefix | int) -> Iterator[tuple[Prefix, V]]:
+        """All stored prefixes covering ``target``, shortest first."""
+        if isinstance(target, Prefix):
+            address, max_length = target.network, target.length
+        else:
+            address, max_length = target, 32
+        node = self._root
+        length = 0
+        if node.has_value:
+            yield (Prefix(0, 0), node.value)
+        while length < max_length:
+            bit = (address >> (31 - length)) & 1
+            node = node.one if bit else node.zero
+            if node is None:
+                return
+            length += 1
+            if node.has_value:
+                yield (Prefix(address, length), node.value)
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """All (prefix, value) entries in lexicographic prefix order."""
+        stack: list[tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield (Prefix(network, length), node.value)
+            # push 'one' first so 'zero' (smaller networks) pops first
+            if node.one is not None:
+                stack.append(
+                    (node.one, network | (1 << (31 - length)), length + 1)
+                )
+            if node.zero is not None:
+                stack.append((node.zero, network, length + 1))
+
+    def _walk(self, prefix: Prefix) -> "_Node[V] | None":
+        node = self._root
+        for bit in _bits(prefix):
+            node = node.one if bit else node.zero
+            if node is None:
+                return None
+        return node
+
+
+def _bits(prefix: Prefix) -> Iterator[int]:
+    """The prefix's significant bits, most significant first."""
+    network = prefix.network
+    for position in range(prefix.length):
+        yield (network >> (31 - position)) & 1

@@ -1,0 +1,28 @@
+"""AS business-relationship inference and policy realization.
+
+The paper's *model* is deliberately agnostic about relationships, but its
+Table 2 baseline ("Customer/Peering Policies") needs them: this package
+implements the valley-free inference heuristic sketched in Section 3.3
+("We start by declaring all links between the level-1 ASes as peering and
+then iteratively infer customer-provider relationships"), a classic
+Gao-style degree-based inference for comparison, valley-free path
+validation, and the translation of inferred relationships into local-pref
+values and export filters (footnote 2 policies).
+"""
+
+from repro.relationships.types import Relationship, RelationshipMap
+from repro.relationships.gao import infer_gao_relationships
+from repro.relationships.valleyfree import (
+    infer_valley_free_relationships,
+    is_valley_free,
+)
+from repro.relationships.policies import apply_relationship_policies
+
+__all__ = [
+    "Relationship",
+    "RelationshipMap",
+    "infer_gao_relationships",
+    "infer_valley_free_relationships",
+    "is_valley_free",
+    "apply_relationship_policies",
+]

@@ -1,0 +1,141 @@
+"""Valley-free inference and validation.
+
+An AS-path (written observer-first, origin-last, as everywhere in this
+library) is *valley-free* iff, read in that order, its edges form the
+pattern ``c2p* peer? p2c*``: walking from the observer towards the origin
+one first climbs (each AS is a customer of the next), crosses at most one
+peering link at the top, then descends (each AS is a provider of the
+next).  Equivalently, in route-announcement order the route climbs from
+the origin over customer->provider links, crosses at most one peering, and
+descends over provider->customer links [Gao 2001].
+
+:func:`infer_valley_free_relationships` is the paper's heuristic
+(Section 3.3): seed all level-1/level-1 edges as PEER, then iteratively
+propagate the valley-free constraint along every observed path until a
+fixpoint; contradictions mark an edge SIBLING (sibling edges carry any
+route, so they never constrain).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.relationships.types import Relationship, RelationshipMap
+from repro.topology.dataset import PathDataset
+
+
+def is_valley_free(path: Sequence[int], relationships: RelationshipMap) -> bool:
+    """Validate ``path`` (observer-first) against ``relationships``.
+
+    SIBLING and UNKNOWN edges are treated as wildcards that keep the
+    current phase, following the paper's footnote 2 (siblings and unknown
+    edges are handled like peerings when realizing policies, but for
+    validation they must not create false violations).
+    """
+    # Phases while scanning observer -> origin: 0 = climbing (c2p),
+    # 1 = crossed the single peak peering, 2 = descending (p2c).
+    phase = 0
+    for left, right in zip(path, path[1:]):
+        rel = relationships.get(left, right)
+        if rel in (Relationship.SIBLING, Relationship.UNKNOWN):
+            continue
+        if rel is Relationship.PROVIDER:
+            # right is left's provider: climbing edge; only valid at start.
+            if phase != 0:
+                return False
+        elif rel is Relationship.PEER:
+            if phase != 0:
+                return False
+            phase = 1
+        elif rel is Relationship.CUSTOMER:
+            # right is left's customer: descending edge.
+            phase = 2
+    return True
+
+
+def infer_valley_free_relationships(
+    dataset: PathDataset,
+    level1: Iterable[int],
+    max_rounds: int = 10,
+) -> RelationshipMap:
+    """Infer relationships from observed paths via valley-free propagation.
+
+    Rules applied per path (observer-first order) until no edge changes:
+
+    * every level-1/level-1 edge is PEER (the seed);
+    * once an edge is PEER or CUSTOMER (descending), every edge *after* it
+      (towards the origin) must be CUSTOMER;
+    * symmetrically, every edge *before* a PROVIDER or PEER edge (towards
+      the observer) must be PROVIDER (the observer side climbs);
+    * assigning a conflicting direction to an already-classified edge turns
+      it into SIBLING, which then stops constraining.
+    """
+    relationships = RelationshipMap()
+    level1_set = set(level1)
+    for a in level1_set:
+        for b in level1_set:
+            if a < b:
+                relationships.set(a, b, Relationship.PEER)
+
+    paths = sorted(dataset.unique_paths())
+
+    def classify(a: int, b: int, rel: Relationship) -> bool:
+        """Try to set edge (a, b); returns True if the map changed."""
+        current = relationships.get(a, b)
+        if current is rel or current is Relationship.SIBLING:
+            return False
+        if current is Relationship.UNKNOWN and not relationships.has(a, b):
+            relationships.set(a, b, rel)
+            return True
+        if current is Relationship.PEER and rel in (
+            Relationship.CUSTOMER,
+            Relationship.PROVIDER,
+        ):
+            # Peering edges are kept; a transit claim across a known peering
+            # would break the seed, so record the conflict as sibling only
+            # when the peering was itself inferred (not a level-1 seed).
+            if a in level1_set and b in level1_set:
+                return False
+            relationships.set(a, b, Relationship.SIBLING)
+            return True
+        if current in (Relationship.CUSTOMER, Relationship.PROVIDER) and rel in (
+            Relationship.CUSTOMER,
+            Relationship.PROVIDER,
+            Relationship.PEER,
+        ):
+            relationships.set(a, b, Relationship.SIBLING)
+            return True
+        return False
+
+    for _ in range(max_rounds):
+        changed = False
+        for path in paths:
+            edges = [
+                (path[i], path[i + 1])
+                for i in range(len(path) - 1)
+                if path[i] != path[i + 1]
+            ]
+            # Find the first descending marker (PEER or CUSTOMER edge).
+            descend_from = None
+            for index, (a, b) in enumerate(edges):
+                rel = relationships.get(a, b)
+                if rel in (Relationship.PEER, Relationship.CUSTOMER):
+                    descend_from = index
+                    break
+            if descend_from is not None:
+                for a, b in edges[descend_from + 1 :]:
+                    changed |= classify(a, b, Relationship.CUSTOMER)
+            # Find the last climbing marker (PEER or PROVIDER edge).
+            climb_until = None
+            for index in range(len(edges) - 1, -1, -1):
+                a, b = edges[index]
+                rel = relationships.get(a, b)
+                if rel in (Relationship.PEER, Relationship.PROVIDER):
+                    climb_until = index
+                    break
+            if climb_until is not None:
+                for a, b in edges[:climb_until]:
+                    changed |= classify(a, b, Relationship.PROVIDER)
+        if not changed:
+            break
+    return relationships

@@ -1,0 +1,112 @@
+"""AS classification (Section 3.1).
+
+ASes are classified along two axes:
+
+* **level**: ``level1`` (inferred tier-1 clique), ``level2`` (direct
+  neighbours of a level-1 AS), ``other``;
+* **role**: ``transit`` (appears at least once in the middle of an
+  AS-path) vs. stub, with stubs split into single-homed (one observed
+  upstream) and multi-homed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.topology.dataset import PathDataset
+from repro.topology.graph import ASGraph
+
+
+class Level(enum.Enum):
+    """Position of an AS in the provider hierarchy."""
+
+    LEVEL1 = "level1"
+    LEVEL2 = "level2"
+    OTHER = "other"
+
+
+class Role(enum.Enum):
+    """Whether an AS provides transit, and if not, how it is homed."""
+
+    TRANSIT = "transit"
+    STUB_SINGLE_HOMED = "stub-single-homed"
+    STUB_MULTI_HOMED = "stub-multi-homed"
+
+
+@dataclass
+class ASClassification:
+    """Per-AS level and role assignments plus headline counts."""
+
+    levels: dict[int, Level] = field(default_factory=dict)
+    roles: dict[int, Role] = field(default_factory=dict)
+
+    def level_members(self, level: Level) -> set[int]:
+        """ASes assigned to ``level``."""
+        return {asn for asn, value in self.levels.items() if value is level}
+
+    def role_members(self, role: Role) -> set[int]:
+        """ASes assigned to ``role``."""
+        return {asn for asn, value in self.roles.items() if value is role}
+
+    def transit_asns(self) -> set[int]:
+        """ASes providing transit for some prefix."""
+        return self.role_members(Role.TRANSIT)
+
+    def single_homed_stubs(self) -> set[int]:
+        """Stub ASes with exactly one observed neighbour."""
+        return self.role_members(Role.STUB_SINGLE_HOMED)
+
+    def multi_homed_stubs(self) -> set[int]:
+        """Stub ASes with more than one observed neighbour."""
+        return self.role_members(Role.STUB_MULTI_HOMED)
+
+    def summary(self) -> dict[str, int]:
+        """Counts matching the enumeration in Section 3.1."""
+        return {
+            "ases": len(self.levels),
+            "level1": len(self.level_members(Level.LEVEL1)),
+            "level2": len(self.level_members(Level.LEVEL2)),
+            "other": len(self.level_members(Level.OTHER)),
+            "transit": len(self.transit_asns()),
+            "stub_single_homed": len(self.single_homed_stubs()),
+            "stub_multi_homed": len(self.multi_homed_stubs()),
+        }
+
+
+def classify_ases(
+    dataset: PathDataset,
+    graph: ASGraph,
+    level1: Iterable[int],
+) -> ASClassification:
+    """Classify every AS of ``graph`` given the inferred level-1 set.
+
+    Transit ASes are those appearing in the middle of at least one observed
+    AS-path; the observation AS at the head of a path does not count as
+    "middle" (it terminates the path), nor does the origin at the tail.
+    """
+    classification = ASClassification()
+    level1_set = set(level1)
+
+    transit: set[int] = set()
+    for route in dataset:
+        asns = route.path.asns
+        transit.update(asns[1:-1])
+
+    for asn in graph.ases():
+        if asn in level1_set:
+            classification.levels[asn] = Level.LEVEL1
+        elif any(neighbor in level1_set for neighbor in graph.neighbors(asn)):
+            classification.levels[asn] = Level.LEVEL2
+        else:
+            classification.levels[asn] = Level.OTHER
+
+        if asn in transit:
+            classification.roles[asn] = Role.TRANSIT
+        elif graph.degree(asn) <= 1:
+            classification.roles[asn] = Role.STUB_SINGLE_HOMED
+        else:
+            classification.roles[asn] = Role.STUB_MULTI_HOMED
+
+    return classification

@@ -1,0 +1,57 @@
+"""Level-1 (tier-1) provider inference.
+
+Section 3.1: "We identify level-1 providers by starting with a small list
+of providers that are known to be tier-1.  An AS is added to the list of
+level-1 providers if the resulting AS-subgraph between level-1 providers
+is complete, that is, we derive the AS-subgraph to be the largest clique
+of ASes including our seed ASes."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TopologyError
+from repro.topology.graph import ASGraph
+
+
+def infer_level1_clique(
+    graph: ASGraph, seeds: Iterable[int]
+) -> set[int]:
+    """Grow the seed set into a maximal clique of the AS graph.
+
+    Candidates adjacent to *every* current member are added greedily in
+    order of decreasing degree (ties broken by ASN for determinism), which
+    approximates "the largest clique including our seed ASes".  Seeds that
+    are not in the graph are rejected; seeds that do not form a clique
+    raise :class:`TopologyError` because the paper's definition requires
+    the level-1 subgraph to be complete.
+    """
+    members = set(seeds)
+    if not members:
+        raise TopologyError("level-1 inference requires at least one seed AS")
+    missing = [asn for asn in members if asn not in graph]
+    if missing:
+        raise TopologyError(f"seed ASes not in graph: {sorted(missing)}")
+    if not graph.is_clique(members):
+        raise TopologyError("seed ASes do not form a clique")
+
+    candidates = _common_neighbors(graph, members)
+    while candidates:
+        best = max(candidates, key=lambda asn: (graph.degree(asn), -asn))
+        members.add(best)
+        candidates = {
+            asn for asn in candidates if asn != best and graph.has_edge(asn, best)
+        }
+    return members
+
+
+def _common_neighbors(graph: ASGraph, members: set[int]) -> set[int]:
+    """ASes adjacent to every member (and not members themselves)."""
+    iterator = iter(members)
+    common = graph.neighbors(next(iterator))
+    for asn in iterator:
+        common &= graph.neighbors(asn)
+        if not common:
+            break
+    return common - members

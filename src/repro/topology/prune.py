@@ -1,0 +1,81 @@
+"""Pruning single-homed stub ASes with path transfer (Section 3.1).
+
+"Single-homed ASes that do not provide transit only add limited
+information about the AS-topology as long as any path information gathered
+from prefixes originated at such stub-ASes is transferred to a prefix
+originated at its AS neighbor."
+
+Pruning therefore (a) truncates paths that *end* in a single-homed stub so
+the upstream neighbour becomes the origin, (b) drops observations whose
+observation AS *is* a pruned stub, and (c) removes the pruned ASes from
+the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.aspath import ASPath
+from repro.topology.classify import ASClassification, Role
+from repro.topology.dataset import ObservedRoute, PathDataset
+from repro.topology.graph import ASGraph
+
+
+@dataclass
+class PruneResult:
+    """Outcome of stub pruning."""
+
+    dataset: PathDataset
+    graph: ASGraph
+    pruned_asns: set[int]
+    transferred_routes: int
+    dropped_routes: int
+
+
+def prune_single_homed_stubs(
+    dataset: PathDataset,
+    graph: ASGraph,
+    classification: ASClassification,
+) -> PruneResult:
+    """Remove single-homed stub ASes, transferring their path information."""
+    doomed = classification.role_members(Role.STUB_SINGLE_HOMED)
+    # Never prune an AS that hosts an observation point for a route we keep:
+    # the observation AS must stay addressable in the model.  (Observation
+    # points inside single-homed stubs see paths through their single
+    # provider; those observations are dropped, matching the paper's node
+    # counts.)
+    transferred = 0
+    dropped = 0
+    result = PathDataset()
+
+    for route in dataset:
+        if route.observer_asn in doomed:
+            dropped += 1
+            continue
+        path = route.path
+        if path.origin_asn in doomed:
+            if len(path) < 2:
+                dropped += 1
+                continue
+            path = ASPath(path.asns[:-1])
+            transferred += 1
+        if any(asn in doomed for asn in path):
+            # A supposedly single-homed stub in the *middle* of a path would
+            # contradict the classification; drop defensively.
+            dropped += 1
+            continue
+        result.add(
+            ObservedRoute(route.point_id, route.observer_asn, route.prefix, path)
+        )
+
+    pruned_graph = graph.copy()
+    for asn in doomed:
+        pruned_graph.remove_as(asn)
+
+    return PruneResult(
+        dataset=result,
+        graph=pruned_graph,
+        pruned_asns=set(doomed),
+        transferred_routes=transferred,
+        dropped_routes=dropped,
+    )

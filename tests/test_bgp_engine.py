@@ -1,0 +1,208 @@
+"""Integration tests for the propagation engine (eBGP-only topologies)."""
+
+import pytest
+
+from repro.bgp import DecisionConfig, Network, simulate, simulate_prefix
+from repro.bgp.policy import Action, Clause, Match
+from repro.errors import SimulationError
+from repro.net.community import NO_ADVERTISE, NO_EXPORT
+from repro.net.prefix import Prefix
+
+PREFIX = Prefix("10.0.0.0/24")
+
+
+class TestBasicPropagation:
+    def test_direct_neighbor_learns_route(self, line):
+        net, routers, prefix = line
+        simulate(net)
+        best = routers[1].best(prefix)
+        assert best is not None
+        assert best.as_path == (3,)
+
+    def test_shortest_path_preferred(self, line):
+        net, routers, prefix = line
+        simulate(net)
+        # AS1 sees both (3,) and (2, 3); shortest wins
+        paths = {route.as_path for route in routers[1].rib_in_routes(prefix)}
+        assert paths == {(3,), (2, 3)}
+        assert routers[1].best(prefix).as_path == (3,)
+
+    def test_as_path_prepending_on_export(self, diamond):
+        net, routers, prefix = diamond
+        simulate(net)
+        assert routers[2].best(prefix).as_path == (4,)
+        assert routers[1].best(prefix).as_path in ((2, 4), (3, 4))
+
+    def test_loop_prevention(self, diamond):
+        net, routers, prefix = diamond
+        simulate(net)
+        # AS4's own paths never contain AS4 twice
+        for router in net.routers.values():
+            for route in router.rib_in_routes(prefix):
+                assert router.asn not in route.as_path
+
+    def test_tie_break_lowest_router_id(self, diamond):
+        net, routers, prefix = diamond
+        simulate(net)
+        # AS1 gets (2,4) from AS2 and (3,4) from AS3; AS2's router id is lower
+        assert routers[1].best(prefix).as_path == (2, 4)
+
+    def test_adj_rib_out_reflects_best(self, line):
+        net, routers, prefix = line
+        simulate(net)
+        rib_out = routers[3].adj_rib_out[prefix]
+        assert rib_out  # origin announced to peers
+        for route in rib_out.values():
+            assert route.as_path == (3,)
+
+    def test_simulation_is_deterministic(self, diamond):
+        net, routers, prefix = diamond
+        simulate(net)
+        first = {rid: r.best(prefix).as_path if r.best(prefix) else None
+                 for rid, r in net.routers.items()}
+        simulate(net)
+        second = {rid: r.best(prefix).as_path if r.best(prefix) else None
+                  for rid, r in net.routers.items()}
+        assert first == second
+
+    def test_resimulation_clears_stale_state(self, line):
+        net, routers, prefix = line
+        simulate(net)
+        net.disconnect(routers[1], routers[3])
+        simulate_prefix(net, prefix)
+        assert routers[1].best(prefix).as_path == (2, 3)
+
+
+class TestPolicies:
+    def test_export_filter_blocks_route(self, line):
+        net, routers, prefix = line
+        session = net.get_session(routers[3], routers[1])
+        session.ensure_export_map().append(Clause(Match(prefix=prefix), Action.DENY))
+        simulate(net)
+        assert routers[1].best(prefix).as_path == (2, 3)
+
+    def test_import_filter_blocks_route(self, line):
+        net, routers, prefix = line
+        session = net.get_session(routers[3], routers[1])
+        session.ensure_import_map().append(Clause(Match(prefix=prefix), Action.DENY))
+        simulate(net)
+        assert routers[1].best(prefix).as_path == (2, 3)
+
+    def test_path_length_filter(self, line):
+        net, routers, prefix = line
+        session = net.get_session(routers[3], routers[1])
+        session.ensure_export_map().append(
+            Clause(Match(prefix=prefix, path_len_lt=2), Action.DENY)
+        )
+        simulate(net)
+        assert routers[1].best(prefix).as_path == (2, 3)
+
+    def test_local_pref_overrides_length(self, line):
+        net, routers, prefix = line
+        session = net.get_session(routers[2], routers[1])
+        session.ensure_import_map().append(
+            Clause(Match(prefix=prefix), set_local_pref=200)
+        )
+        simulate(net)
+        assert routers[1].best(prefix).as_path == (2, 3)
+
+    def test_med_rank_with_always_compare(self, diamond):
+        net, routers, prefix = diamond
+        # Prefer the AS3 branch at AS1 via lower MED
+        net.get_session(routers[3], routers[1]).ensure_import_map().append(
+            Clause(Match(prefix=prefix), set_med=0)
+        )
+        net.get_session(routers[2], routers[1]).ensure_import_map().append(
+            Clause(Match(prefix=prefix), set_med=50)
+        )
+        simulate(net, config=DecisionConfig(med_always_compare=True))
+        assert routers[1].best(prefix).as_path == (3, 4)
+
+    def test_med_reset_on_ebgp_export(self, line):
+        net, routers, prefix = line
+        # AS3 sets MED toward AS2; AS2's re-export to AS1 must reset it
+        net.get_session(routers[3], routers[2]).ensure_export_map().append(
+            Clause(Match(prefix=prefix), set_med=77)
+        )
+        simulate(net)
+        via_as2 = [
+            r for r in routers[1].rib_in_routes(prefix) if r.as_path == (2, 3)
+        ]
+        assert via_as2 and via_as2[0].med == 0
+
+    def test_withdraw_on_filter_addition_and_resim(self, line):
+        net, routers, prefix = line
+        simulate(net)
+        assert routers[1].best(prefix).as_path == (3,)
+        session = net.get_session(routers[3], routers[1])
+        session.ensure_export_map().append(Clause(Match(prefix=prefix), Action.DENY))
+        simulate_prefix(net, prefix)
+        assert routers[1].best(prefix).as_path == (2, 3)
+
+
+class TestCommunities:
+    def test_no_export_stops_at_first_as(self, line):
+        net, routers, prefix = line
+        # attach NO_EXPORT on AS3 -> AS2 announcements
+        net.get_session(routers[3], routers[2]).ensure_import_map().append(
+            Clause(Match(prefix=prefix), add_communities=frozenset((NO_EXPORT,)))
+        )
+        # block the direct AS3 -> AS1 session so AS1 would depend on AS2
+        net.get_session(routers[3], routers[1]).ensure_export_map().append(
+            Clause(Match(prefix=prefix), Action.DENY)
+        )
+        simulate(net)
+        assert routers[2].best(prefix) is not None
+        assert routers[1].best(prefix) is None
+
+    def test_communities_propagate_transitively(self, line):
+        net, routers, prefix = line
+        net.get_session(routers[3], routers[2]).ensure_import_map().append(
+            Clause(Match(prefix=prefix), add_communities=frozenset((42,)))
+        )
+        simulate(net)
+        via_as2 = [
+            r for r in routers[1].rib_in_routes(prefix) if r.as_path == (2, 3)
+        ]
+        assert via_as2 and 42 in via_as2[0].communities
+
+    def test_no_advertise_stops_everywhere(self, line):
+        net, routers, prefix = line
+        for dst in (routers[1], routers[2]):
+            net.get_session(routers[3], dst).ensure_import_map().append(
+                Clause(Match(prefix=prefix), add_communities=frozenset((NO_ADVERTISE,)))
+            )
+        simulate(net)
+        # AS1 and AS2 learn the direct route but must not re-advertise it
+        assert routers[1].best(prefix).as_path == (3,)
+        paths_at_1 = {r.as_path for r in routers[1].rib_in_routes(prefix)}
+        assert (2, 3) not in paths_at_1
+
+
+class TestDivergenceGuard:
+    def test_dispute_wheel_raises(self):
+        """The classic BAD GADGET: three ASes each prefer the long way round."""
+        net = Network("bad-gadget")
+        hub = net.add_router(4)
+        spokes = {asn: net.add_router(asn) for asn in (1, 2, 3)}
+        prefix = Prefix("10.9.0.0/24")
+        net.originate(hub, prefix)
+        cycle = {1: 2, 2: 3, 3: 1}
+        for asn, router in spokes.items():
+            net.connect(router, hub)
+        for asn, next_asn in cycle.items():
+            net.connect(spokes[asn], spokes[next_asn])
+        for asn, next_asn in cycle.items():
+            session = net.get_session(spokes[next_asn], spokes[asn])
+            session.ensure_import_map().append(
+                Clause(Match(prefix=prefix), set_local_pref=200)
+            )
+        with pytest.raises(SimulationError):
+            simulate(net, max_messages=5000)
+
+    def test_stats_track_messages_per_prefix(self, line):
+        net, routers, prefix = line
+        stats = simulate(net)
+        assert stats.prefixes == 1
+        assert stats.messages > 0
+        assert stats.per_prefix_messages[prefix] == stats.messages

@@ -1,0 +1,98 @@
+"""Integration tests for iBGP semantics and hot-potato routing."""
+
+from repro.bgp import Network, simulate
+from repro.bgp.attributes import RouteSource
+from repro.net.prefix import Prefix
+
+
+class TestIbgpBasics:
+    def test_border_routers_prefer_own_ebgp_route(self, multi_router_as):
+        net, routers, prefix = multi_router_as
+        simulate(net)
+        assert routers["a"].best(prefix).as_path == (20, 40)
+        assert routers["b"].best(prefix).as_path == (30, 40)
+
+    def test_ibgp_learned_routes_present_in_rib_in(self, multi_router_as):
+        net, routers, prefix = multi_router_as
+        simulate(net)
+        sources = {r.source for r in routers["a"].rib_in_routes(prefix)}
+        assert RouteSource.IBGP in sources and RouteSource.EBGP in sources
+
+    def test_ibgp_does_not_prepend_or_change_next_hop(self, multi_router_as):
+        net, routers, prefix = multi_router_as
+        simulate(net)
+        ibgp_routes = [
+            r
+            for r in routers["a"].rib_in_routes(prefix)
+            if r.source is RouteSource.IBGP
+        ]
+        assert len(ibgp_routes) == 1
+        route = ibgp_routes[0]
+        assert route.as_path == (30, 40)  # no AS10 prepended
+        assert route.next_hop == routers["b"].router_id
+
+    def test_no_ibgp_reflection(self):
+        """A router must not re-advertise iBGP-learned routes over iBGP."""
+        net = Network()
+        a, b, c = (net.add_router(10) for _ in range(3))
+        net.ases[10].igp.add_link(a.router_id, b.router_id, 1)
+        net.ases[10].igp.add_link(b.router_id, c.router_id, 1)
+        # Deliberately NOT a full mesh: a-b and b-c only.
+        net.connect(a, b)
+        net.connect(b, c)
+        origin = net.add_router(20)
+        net.connect(a, origin)
+        prefix = Prefix("10.2.0.0/24")
+        net.originate(origin, prefix)
+        simulate(net)
+        assert a.best(prefix) is not None
+        assert b.best(prefix) is not None  # learned over iBGP from a
+        assert c.best(prefix) is None  # b must not reflect it
+
+
+class TestHotPotato:
+    def build(self, cost_near: float, cost_far: float):
+        """Internal router chooses between two egress routers by IGP cost."""
+        net = Network()
+        internal = net.add_router(10)
+        egress1 = net.add_router(10)
+        egress2 = net.add_router(10)
+        node = net.ases[10]
+        node.igp.add_link(internal.router_id, egress1.router_id, cost_near)
+        node.igp.add_link(internal.router_id, egress2.router_id, cost_far)
+        net.ibgp_full_mesh(10)
+        up1, up2 = net.add_router(21), net.add_router(22)
+        net.connect(egress1, up1)
+        net.connect(egress2, up2)
+        origin = net.add_router(40)
+        net.connect(up1, origin)
+        net.connect(up2, origin)
+        prefix = Prefix("10.3.0.0/24")
+        net.originate(origin, prefix)
+        simulate(net)
+        return internal, egress1, egress2, prefix
+
+    def test_internal_router_picks_nearest_egress(self):
+        internal, egress1, egress2, prefix = self.build(1, 9)
+        assert internal.best(prefix).next_hop == egress1.router_id
+
+    def test_hot_potato_flips_with_costs(self):
+        internal, egress1, egress2, prefix = self.build(9, 1)
+        assert internal.best(prefix).next_hop == egress2.router_id
+
+    def test_tie_falls_through_to_router_id(self):
+        internal, egress1, egress2, prefix = self.build(5, 5)
+        # equal IGP cost: lowest neighbour router id (egress1) wins
+        assert internal.best(prefix).next_hop == egress1.router_id
+
+
+class TestDiversityAcrossBorderRouters:
+    def test_as_propagates_multiple_paths_downstream(self, multi_router_as):
+        """AS10's two border routers propagate different AS-paths."""
+        net, routers, prefix = multi_router_as
+        downstream = net.add_router(50)
+        net.connect(routers["a"], downstream)
+        net.connect(routers["b"], downstream)
+        simulate(net)
+        paths = {r.as_path for r in downstream.rib_in_routes(prefix)}
+        assert paths == {(10, 20, 40), (10, 30, 40)}

@@ -1,0 +1,104 @@
+"""Unit tests for the IGP topology (repro.bgp.igp)."""
+
+import math
+
+import pytest
+
+from repro.bgp.igp import IGPTopology
+from repro.errors import TopologyError
+
+
+class TestConstruction:
+    def test_add_router_idempotent(self):
+        igp = IGPTopology()
+        igp.add_router(1)
+        igp.add_router(1)
+        assert list(igp.routers()) == [1]
+
+    def test_add_link_registers_routers(self):
+        igp = IGPTopology()
+        igp.add_link(1, 2, 3.0)
+        assert set(igp.routers()) == {1, 2}
+        assert igp.neighbors(1) == {2: 3.0}
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            IGPTopology().add_link(1, 1)
+
+    def test_rejects_non_positive_cost(self):
+        with pytest.raises(TopologyError):
+            IGPTopology().add_link(1, 2, 0)
+        with pytest.raises(TopologyError):
+            IGPTopology().add_link(1, 2, -3)
+
+    def test_link_update_overwrites_cost(self):
+        igp = IGPTopology()
+        igp.add_link(1, 2, 3.0)
+        igp.add_link(1, 2, 7.0)
+        assert igp.cost(1, 2) == 7.0
+
+
+class TestShortestPaths:
+    def make_square(self):
+        """1-2-3-4-1 ring with one expensive diagonal."""
+        igp = IGPTopology()
+        igp.add_link(1, 2, 1)
+        igp.add_link(2, 3, 1)
+        igp.add_link(3, 4, 1)
+        igp.add_link(4, 1, 1)
+        igp.add_link(1, 3, 5)
+        return igp
+
+    def test_self_cost_zero(self):
+        assert self.make_square().cost(1, 1) == 0.0
+
+    def test_direct_link(self):
+        assert self.make_square().cost(1, 2) == 1.0
+
+    def test_prefers_cheap_two_hop_over_expensive_direct(self):
+        assert self.make_square().cost(1, 3) == 2.0
+
+    def test_symmetric(self):
+        igp = self.make_square()
+        assert igp.cost(2, 4) == igp.cost(4, 2) == 2.0
+
+    def test_unreachable_is_infinite(self):
+        igp = self.make_square()
+        igp.add_router(99)
+        assert math.isinf(igp.cost(1, 99))
+        assert math.isinf(igp.cost(99, 1))
+
+    def test_unknown_source_is_infinite(self):
+        assert math.isinf(IGPTopology().cost(1, 2))
+
+    def test_cache_invalidated_on_topology_change(self):
+        igp = self.make_square()
+        assert igp.cost(1, 3) == 2.0
+        igp.add_link(1, 3, 1)
+        assert igp.cost(1, 3) == 1.0
+
+
+class TestConnectivity:
+    def test_empty_and_singleton_connected(self):
+        igp = IGPTopology()
+        assert igp.is_connected()
+        igp.add_router(1)
+        assert igp.is_connected()
+
+    def test_connected_chain(self):
+        igp = IGPTopology()
+        igp.add_link(1, 2)
+        igp.add_link(2, 3)
+        assert igp.is_connected()
+
+    def test_disconnected_detected(self):
+        igp = IGPTopology()
+        igp.add_link(1, 2)
+        igp.add_router(3)
+        assert not igp.is_connected()
+
+    def test_len_and_repr(self):
+        igp = IGPTopology()
+        igp.add_link(1, 2)
+        assert len(igp) == 2
+        assert "routers=2" in repr(igp)

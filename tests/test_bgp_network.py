@@ -1,0 +1,194 @@
+"""Unit tests for repro.bgp.network and repro.bgp.router."""
+
+import pytest
+
+from repro.bgp.network import Network, build_clique
+from repro.bgp.policy import Action, Clause, Match
+from repro.bgp.router import (
+    format_router_id,
+    make_router_id,
+    router_id_asn,
+    router_id_index,
+)
+from repro.errors import TopologyError
+from repro.net.prefix import Prefix
+
+PREFIX = Prefix("10.0.0.0/24")
+
+
+class TestRouterIds:
+    def test_encoding(self):
+        rid = make_router_id(3356, 2)
+        assert router_id_asn(rid) == 3356
+        assert router_id_index(rid) == 2
+
+    def test_formats_as_ip_for_16bit_asn(self):
+        assert format_router_id(make_router_id(3356, 1)) == "13.28.0.1"
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            make_router_id(1, 0)
+        with pytest.raises(ValueError):
+            make_router_id(1, 1 << 16)
+
+
+class TestTopologyConstruction:
+    def test_add_router_assigns_sequential_ids(self):
+        net = Network()
+        r1 = net.add_router(7)
+        r2 = net.add_router(7)
+        assert r1.router_id == make_router_id(7, 1)
+        assert r2.router_id == make_router_id(7, 2)
+        assert net.as_routers(7) == [r1, r2]
+
+    def test_add_as_idempotent(self):
+        net = Network()
+        assert net.add_as(5) is net.add_as(5)
+
+    def test_connect_creates_both_directions(self):
+        net = Network()
+        a, b = net.add_router(1), net.add_router(2)
+        s_ab, s_ba = net.connect(a, b)
+        assert s_ab.src is a and s_ab.dst is b
+        assert s_ba.src is b and s_ba.dst is a
+        assert net.get_session(a, b) is s_ab
+        assert s_ab.is_ebgp and not s_ab.is_ibgp
+
+    def test_duplicate_session_rejected(self):
+        net = Network()
+        a, b = net.add_router(1), net.add_router(2)
+        net.connect(a, b)
+        with pytest.raises(TopologyError):
+            net.add_session(a, b)
+
+    def test_self_session_rejected(self):
+        net = Network()
+        a = net.add_router(1)
+        with pytest.raises(TopologyError):
+            net.add_session(a, a)
+
+    def test_disconnect_removes_both_directions(self):
+        net = Network()
+        a, b = net.add_router(1), net.add_router(2)
+        net.connect(a, b)
+        net.disconnect(a, b)
+        assert net.get_session(a, b) is None
+        assert net.get_session(b, a) is None
+        assert not a.sessions_out and not b.sessions_in
+
+    def test_ibgp_full_mesh(self):
+        net = Network()
+        routers = [net.add_router(9) for _ in range(3)]
+        net.ibgp_full_mesh(9)
+        sessions = [s for s in net.sessions.values() if s.is_ibgp]
+        assert len(sessions) == 6  # 3 pairs x 2 directions
+        assert all(s.src.asn == 9 and s.dst.asn == 9 for s in sessions)
+        assert routers[0].sessions_out and routers[0].sessions_in
+
+    def test_originate_registers(self):
+        net = Network()
+        r = net.add_router(1)
+        net.originate(r, PREFIX)
+        assert net.originators(PREFIX) == [r.router_id]
+        assert PREFIX in r.local_routes
+
+    def test_double_origination_rejected(self):
+        net = Network()
+        r = net.add_router(1)
+        net.originate(r, PREFIX)
+        with pytest.raises(TopologyError):
+            net.originate(r, PREFIX)
+
+    def test_validate_passes_on_consistent_network(self):
+        net = Network()
+        a, b = net.add_router(1), net.add_router(2)
+        net.connect(a, b)
+        net.originate(a, PREFIX)
+        net.validate()
+
+    def test_build_clique_helper(self):
+        net = Network()
+        build_clique(net, [1, 2, 3])
+        assert len(net.as_adjacencies()) == 3
+
+
+class TestDuplicateRouter:
+    def make_net(self):
+        net = Network()
+        center = net.add_router(5)
+        left = net.add_router(1)
+        right = net.add_router(2)
+        net.connect(left, center)
+        net.connect(center, right)
+        session = net.get_session(left, center)
+        session.ensure_export_map().append(
+            Clause(Match(prefix=PREFIX), Action.DENY, tag="x")
+        )
+        net.originate(center, PREFIX)
+        return net, center, left, right
+
+    def test_clone_gets_same_neighbors(self):
+        net, center, left, right = self.make_net()
+        clone = net.duplicate_router(center)
+        assert clone.asn == 5 and clone.router_id != center.router_id
+        assert net.get_session(left, clone) is not None
+        assert net.get_session(clone, right) is not None
+
+    def test_clone_policies_are_copies(self):
+        net, center, left, right = self.make_net()
+        clone = net.duplicate_router(center)
+        cloned_session = net.get_session(left, clone)
+        assert cloned_session.export_map is not None
+        assert len(cloned_session.export_map) == 1
+        cloned_session.export_map.remove_if(lambda c: True)
+        original_session = net.get_session(left, center)
+        assert len(original_session.export_map) == 1
+
+    def test_clone_originates_same_prefixes(self):
+        net, center, _, _ = self.make_net()
+        clone = net.duplicate_router(center)
+        assert clone.router_id in net.originators(PREFIX)
+
+    def test_clone_skips_ibgp_sessions(self):
+        net, center, _, _ = self.make_net()
+        sibling = net.add_router(5)
+        net.connect(center, sibling)
+        clone = net.duplicate_router(center)
+        assert net.get_session(clone, sibling) is None
+        assert net.get_session(sibling, clone) is None
+
+
+class TestBookkeeping:
+    def test_clear_prefix_only_touches_tracked_routers(self):
+        net = Network()
+        a, b = net.add_router(1), net.add_router(2)
+        net.connect(a, b)
+        net.originate(a, PREFIX)
+        from repro.bgp.engine import simulate
+
+        simulate(net)
+        assert b.best(PREFIX) is not None
+        net.clear_prefix(PREFIX)
+        assert b.best(PREFIX) is None
+        assert not b.adj_rib_in.get(PREFIX)
+
+    def test_stats_counts(self):
+        net = Network()
+        a, b = net.add_router(1), net.add_router(2)
+        net.connect(a, b)
+        net.originate(a, PREFIX)
+        stats = net.stats()
+        assert stats == {
+            "ases": 2,
+            "routers": 2,
+            "sessions": 2,
+            "ebgp_sessions": 2,
+            "prefixes": 1,
+        }
+
+    def test_as_adjacencies(self):
+        net = Network()
+        a, b, c = net.add_router(1), net.add_router(2), net.add_router(3)
+        net.connect(a, b)
+        net.connect(b, c)
+        assert net.as_adjacencies() == {(1, 2), (2, 3)}

@@ -1,0 +1,122 @@
+"""Tests for iBGP route reflection (RFC 4456)."""
+
+from repro.bgp import Network, simulate
+from repro.bgp.attributes import RouteSource
+from repro.net.prefix import Prefix
+
+PREFIX = Prefix("10.8.0.0/24")
+
+
+def build_cluster(n_clients=3, n_reflectors=1, chain_igp=True):
+    """One AS with a reflection cluster; client[0] has the external route."""
+    net = Network()
+    reflectors = [net.add_router(10) for _ in range(n_reflectors)]
+    clients = [net.add_router(10) for _ in range(n_clients)]
+    node = net.ases[10]
+    if chain_igp:
+        all_routers = reflectors + clients
+        for a, b in zip(all_routers, all_routers[1:]):
+            node.igp.add_link(a.router_id, b.router_id, 1)
+    net.ibgp_route_reflection(reflectors, clients)
+    origin = net.add_router(20)
+    net.connect(clients[0], origin)
+    net.originate(origin, PREFIX)
+    return net, reflectors, clients, origin
+
+
+class TestReflection:
+    def test_client_route_reaches_other_clients(self):
+        net, reflectors, clients, _ = build_cluster()
+        simulate(net)
+        # clients 1 and 2 have no eBGP session and no direct iBGP to
+        # client 0: only reflection can deliver the route
+        for client in clients[1:]:
+            best = client.best(PREFIX)
+            assert best is not None
+            assert best.source is RouteSource.IBGP
+            assert best.as_path == (20,)
+
+    def test_reflected_route_carries_originator_and_cluster(self):
+        net, reflectors, clients, _ = build_cluster()
+        simulate(net)
+        best = clients[1].best(PREFIX)
+        assert best.originator_id == clients[0].router_id
+        assert reflectors[0].router_id in best.cluster_list
+
+    def test_no_reflection_without_rr_flag(self):
+        """A plain star topology (no rr_clients) does not propagate."""
+        net = Network()
+        hub = net.add_router(10)
+        spokes = [net.add_router(10) for _ in range(2)]
+        for spoke in spokes:
+            net.connect(hub, spoke)
+        origin = net.add_router(20)
+        net.connect(spokes[0], origin)
+        net.originate(origin, PREFIX)
+        simulate(net)
+        assert spokes[1].best(PREFIX) is None
+
+    def test_originator_loop_prevention(self):
+        """The reflected route must not be re-installed at its originator."""
+        net, reflectors, clients, _ = build_cluster()
+        simulate(net)
+        injector = clients[0]
+        reflected_back = [
+            route
+            for route in injector.rib_in_routes(PREFIX)
+            if route.originator_id == injector.router_id
+        ]
+        assert not reflected_back
+
+    def test_redundant_reflectors_converge(self):
+        """Two reflectors serving the same clients must not loop updates."""
+        net, reflectors, clients, _ = build_cluster(n_reflectors=2)
+        stats = simulate(net)
+        assert stats.messages < 200
+        for client in clients[1:]:
+            assert client.best(PREFIX) is not None
+
+    def test_cluster_list_tie_break_prefers_fewer_hops(self):
+        """A route reflected once beats the same route reflected twice."""
+        net = Network()
+        top = net.add_router(10)      # second-level reflector
+        mid = net.add_router(10)      # first-level reflector, client of top
+        injector = net.add_router(10)
+        observer = net.add_router(10)
+        node = net.ases[10]
+        for a, b in ((top, mid), (mid, injector), (top, observer), (mid, observer)):
+            node.igp.add_link(a.router_id, b.router_id, 1)
+        # mid reflects for injector and observer; top reflects for mid and observer
+        net.ibgp_route_reflection([mid], [injector, observer])
+        net.ibgp_route_reflection([top], [mid, observer])
+        origin = net.add_router(20)
+        net.connect(injector, origin)
+        net.originate(origin, PREFIX)
+        simulate(net)
+        best = observer.best(PREFIX)
+        assert best is not None
+        # via mid: cluster_list length 1; via top: length 2
+        assert len(best.cluster_list) == 1
+        assert best.peer_router == mid.router_id
+
+    def test_ebgp_export_strips_rr_attributes(self):
+        net, reflectors, clients, _ = build_cluster()
+        downstream = net.add_router(30)
+        net.connect(clients[1], downstream)
+        simulate(net)
+        received = list(downstream.rib_in_routes(PREFIX))
+        assert received
+        for route in received:
+            assert route.originator_id == 0
+            assert route.cluster_list == ()
+
+    def test_cross_as_reflection_rejected(self):
+        import pytest
+
+        from repro.errors import TopologyError
+
+        net = Network()
+        a = net.add_router(1)
+        b = net.add_router(2)
+        with pytest.raises(TopologyError):
+            net.ibgp_route_reflection([a], [b])

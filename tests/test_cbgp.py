@@ -1,0 +1,154 @@
+"""Tests for the C-BGP-style config export/parse round-trip."""
+
+import io
+
+import pytest
+
+from repro.bgp import Network, simulate
+from repro.bgp.policy import Action, Clause, Match
+from repro.cbgp import export_model, export_network, parse_script
+from repro.core.build import build_initial_model
+from repro.core.model import MODEL_DECISION_CONFIG
+from repro.core.refine import Refiner
+from repro.errors import ParseError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+P = Prefix("10.0.0.0/24")
+
+
+def round_trip(net: Network) -> Network:
+    buffer = io.StringIO()
+    export_network(net, buffer)
+    return parse_script(io.StringIO(buffer.getvalue()))
+
+
+def build_rich_network() -> Network:
+    net = Network()
+    r1 = net.add_router(1)
+    r2a, r2b = net.add_router(2), net.add_router(2)
+    r3 = net.add_router(3)
+    net.ases[2].igp.add_link(r2a.router_id, r2b.router_id, 4)
+    net.ibgp_full_mesh(2)
+    net.connect(r1, r2a)
+    net.connect(r2b, r3)
+    net.connect(r1, r3)
+    session = net.get_session(r3, r1)
+    session.ensure_export_map().append(
+        Clause(Match(prefix=P, path_len_lt=2), Action.DENY, tag="refine-filter")
+    )
+    session_in = net.get_session(r2a, r1)
+    session_in.ensure_import_map().append(
+        Clause(
+            Match(from_asn=2),
+            Action.PERMIT,
+            set_local_pref=90,
+            set_med=10,
+            prepend=1,
+            add_communities=frozenset((77,)),
+        )
+    )
+    net.originate(r3, P)
+    return net
+
+
+class TestRoundTrip:
+    def test_stats_preserved(self):
+        net = build_rich_network()
+        clone = round_trip(net)
+        assert clone.stats() == net.stats()
+
+    def test_igp_costs_preserved(self):
+        net = build_rich_network()
+        clone = round_trip(net)
+        routers = clone.as_routers(2)
+        assert clone.ases[2].igp.cost(routers[0].router_id, routers[1].router_id) == 4
+
+    def test_policies_preserved_semantically(self):
+        net = build_rich_network()
+        clone = round_trip(net)
+        simulate(net)
+        simulate(clone)
+        for rid, router in net.routers.items():
+            best = router.best(P)
+            clone_best = clone.routers[rid].best(P)
+            if best is None:
+                assert clone_best is None
+            else:
+                assert clone_best.as_path == best.as_path
+
+    def test_clause_fields_survive(self):
+        net = build_rich_network()
+        clone = round_trip(net)
+        r1 = clone.as_routers(1)[0]
+        r2a = clone.as_routers(2)[0]
+        session = clone.get_session(r2a, r1)
+        clause = next(session.import_map.clauses())
+        assert clause.set_local_pref == 90
+        assert clause.set_med == 10
+        assert clause.prepend == 1
+        assert clause.add_communities == frozenset((77,))
+        assert clause.match.from_asn == 2
+
+    def test_refined_model_round_trips(self):
+        ds = PathDataset(
+            [
+                ObservedRoute("a", 1, P, ASPath((1, 2, 4))),
+                ObservedRoute("b", 1, P, ASPath((1, 3, 4))),
+            ]
+        )
+        model = build_initial_model(ds)
+        Refiner(model, ds).run()
+        buffer = io.StringIO()
+        export_model(model, buffer)
+        clone = parse_script(io.StringIO(buffer.getvalue()))
+        assert clone.stats() == model.network.stats()
+        simulate(clone, config=MODEL_DECISION_CONFIG)
+        prefix = model.canonical_prefix(4)
+        original_paths = {
+            r.best(prefix).as_path
+            for r in model.network.as_routers(1)
+            if r.best(prefix)
+        }
+        clone_paths = {
+            r.best(prefix).as_path for r in clone.as_routers(1) if r.best(prefix)
+        }
+        assert clone_paths == original_paths
+
+
+class TestParserErrors:
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script(io.StringIO("bogus directive\n"))
+
+    def test_unterminated_rule_rejected(self):
+        text = (
+            "net add node 0.1.0.1\n"
+            "bgp add router 1 0.1.0.1\n"
+            "net add node 0.2.0.1\n"
+            "bgp add router 2 0.2.0.1\n"
+            "bgp router 0.1.0.1 add peer 2 0.2.0.1\n"
+            "bgp router 0.1.0.1 peer 0.2.0.1 filter in add-rule\n"
+            '  match "any"\n'
+        )
+        with pytest.raises(ParseError):
+            parse_script(io.StringIO(text))
+
+    def test_asn_mismatch_rejected(self):
+        text = "net add node 0.1.0.1\nbgp add router 9 0.1.0.1\n"
+        with pytest.raises(ParseError):
+            parse_script(io.StringIO(text))
+
+    def test_cross_as_igp_link_rejected(self):
+        text = (
+            "net add node 0.1.0.1\n"
+            "net add node 0.2.0.1\n"
+            "net add link 0.1.0.1 0.2.0.1 3\n"
+        )
+        with pytest.raises(ParseError):
+            parse_script(io.StringIO(text))
+
+    def test_comments_ignored(self):
+        net = parse_script(io.StringIO("# nothing but comments\n\n"))
+        assert net.stats()["routers"] == 0

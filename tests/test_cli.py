@@ -1,0 +1,85 @@
+"""End-to-end tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dump_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "snapshot.dump"
+    code = main(
+        [
+            "synthesize",
+            "--seed",
+            "5",
+            "--scale",
+            "0.2",
+            "--points",
+            "12",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSynthesize:
+    def test_writes_dump_and_prints_seeds(self, dump_file, capsys):
+        assert dump_file.exists()
+        assert dump_file.read_text().startswith("TABLE_DUMP2|")
+
+    def test_writes_ground_truth_config(self, tmp_path):
+        dump = tmp_path / "d.dump"
+        config = tmp_path / "gt.cbgp"
+        code = main(
+            [
+                "synthesize", "--seed", "3", "--scale", "0.15",
+                "--points", "8", "--out", str(dump), "--cbgp", str(config),
+            ]
+        )
+        assert code == 0
+        assert "net add node" in config.read_text()
+
+
+class TestAnalyze:
+    def test_reports_dataset_and_diversity(self, dump_file, capsys):
+        code = main(["analyze", str(dump_file), "--seeds", "10", "11"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "level-1 clique" in captured
+        assert "multipath pairs" in captured
+        assert "table 1 quantiles" in captured
+
+    def test_defaults_seed_to_highest_degree(self, dump_file, capsys):
+        assert main(["analyze", str(dump_file)]) == 0
+
+
+class TestRefineAndWhatIf:
+    def test_refine_reports_and_saves_model(self, dump_file, tmp_path, capsys):
+        model_path = tmp_path / "model.cbgp"
+        code = main(["refine", str(dump_file), "--out", str(model_path)])
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+        assert "converged=True" in captured
+        assert "validation" in captured
+        assert model_path.exists()
+
+    def test_whatif_on_saved_model(self, dump_file, tmp_path, capsys):
+        model_path = tmp_path / "model.cbgp"
+        assert main(["refine", str(dump_file), "--out", str(model_path)]) == 0
+        capsys.readouterr()
+        code = main(["whatif", str(model_path), "--remove", "10", "11"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "changed pairs" in captured
+
+
+class TestParser:
+    def test_no_subcommand_shows_help(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

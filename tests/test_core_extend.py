@@ -1,0 +1,73 @@
+"""Tests for Section 4.7: extending a refined model for new prefixes."""
+
+import pytest
+
+from repro.core.build import build_initial_model
+from repro.core.predict import evaluate_model, extend_model_for_origins
+from repro.core.refine import Refiner
+from repro.core.split import split_by_origin
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+P = Prefix("10.0.0.0/24")
+
+
+def dataset_from_paths(*paths):
+    ds = PathDataset()
+    for index, path in enumerate(paths):
+        ds.add(ObservedRoute(f"p{index}", path[0], P, ASPath(path)))
+    return ds
+
+
+class TestExtendSmall:
+    def test_extension_matches_new_origin(self):
+        # Full topology knows origins 4 and 5; refine only for 4 first.
+        full = dataset_from_paths((1, 2, 4), (1, 3, 4), (1, 3, 2, 5), (1, 2, 5))
+        model = build_initial_model(full)
+        base = Refiner(model, full.restrict_origins({4})).run()
+        assert base.converged
+
+        result = extend_model_for_origins(model, full, [5])
+        assert result.converged
+        report = evaluate_model(model, full)
+        assert report.rib_out_rate == 1.0
+
+    def test_extension_preserves_existing_matches(self):
+        full = dataset_from_paths((1, 2, 4), (1, 3, 4), (1, 3, 2, 5))
+        model = build_initial_model(full)
+        Refiner(model, full.restrict_origins({4})).run()
+        before = evaluate_model(model, full.restrict_origins({4}))
+        assert before.rib_out_rate == 1.0
+
+        extend_model_for_origins(model, full, [5])
+        after = evaluate_model(model, full.restrict_origins({4}))
+        assert after.rib_out_rate == 1.0
+
+    def test_extension_with_no_new_paths_is_noop(self):
+        full = dataset_from_paths((1, 2, 4))
+        model = build_initial_model(full)
+        Refiner(model, full).run()
+        clauses_before = model.policy_clause_count()
+        result = extend_model_for_origins(model, full, [4])
+        assert result.converged
+        assert model.policy_clause_count() == clauses_before
+
+
+class TestExtendOnMiniInternet:
+    def test_origin_split_then_extend_closes_the_gap(self, mini_pipeline):
+        pruned = mini_pipeline["pruned"]
+        training, validation = split_by_origin(pruned.dataset, 0.5, seed=2)
+        model = build_initial_model(pruned.dataset, pruned.graph.copy())
+        Refiner(model, training).run()
+
+        before = evaluate_model(model, validation)
+        result = extend_model_for_origins(
+            model, pruned.dataset, validation.origin_asns()
+        )
+        after = evaluate_model(model, validation)
+        assert after.rib_out_rate >= before.rib_out_rate
+        assert after.rib_out_rate == pytest.approx(1.0) or result.converged
+        # extension must not regress the original training fit
+        training_report = evaluate_model(model, training)
+        assert training_report.rib_out_rate > 0.98

@@ -1,0 +1,158 @@
+"""Unit tests for the Section 4.2 match metrics and Table 2 agreement."""
+
+import pytest
+
+from repro.bgp.policy import Action, Clause, Match
+from repro.core.build import build_initial_model
+from repro.core.metrics import (
+    AgreementCategory,
+    MatchKind,
+    MatchReport,
+    classify_agreement,
+    classify_route_match,
+    evaluate_agreement,
+    evaluate_dataset,
+    unique_cases,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+P = Prefix("10.0.0.0/24")
+
+
+def dataset_from_paths(*paths):
+    ds = PathDataset()
+    for index, path in enumerate(paths):
+        ds.add(ObservedRoute(f"p{index}", path[0], P, ASPath(path)))
+    return ds
+
+
+@pytest.fixture
+def diamond_model():
+    """AS1 - {AS2, AS3} - AS4 diamond as an initial model, simulated."""
+    ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
+    model = build_initial_model(ds)
+    model.simulate_all()
+    return model
+
+
+class TestClassifyRouteMatch:
+    def test_rib_out_for_chosen_branch(self, diamond_model):
+        # lowest router-id branch is via AS2
+        assert (
+            classify_route_match(diamond_model, 1, (1, 2, 4)) is MatchKind.RIB_OUT
+        )
+
+    def test_potential_rib_out_for_tie_lost_branch(self, diamond_model):
+        assert (
+            classify_route_match(diamond_model, 1, (1, 3, 4))
+            is MatchKind.POTENTIAL_RIB_OUT
+        )
+
+    def test_rib_in_when_longer_path_observed(self):
+        ds = dataset_from_paths((1, 2, 4), (1, 3, 2, 4))
+        model = build_initial_model(ds)
+        model.simulate_all()
+        assert classify_route_match(model, 1, (1, 3, 2, 4)) is MatchKind.RIB_IN
+
+    def test_none_when_route_filtered(self, diamond_model):
+        prefix = diamond_model.canonical_prefix(4)
+        router_1 = diamond_model.quasi_routers(1)[0]
+        router_3 = diamond_model.quasi_routers(3)[0]
+        session = diamond_model.network.get_session(router_3, router_1)
+        session.ensure_export_map().append(Clause(Match(prefix=prefix), Action.DENY))
+        diamond_model.simulate_origin(4)
+        assert classify_route_match(diamond_model, 1, (1, 3, 4)) is MatchKind.NONE
+
+    def test_origin_observation_is_rib_out(self, diamond_model):
+        assert classify_route_match(diamond_model, 4, (4,)) is MatchKind.RIB_OUT
+
+    def test_rejects_path_not_starting_at_observer(self, diamond_model):
+        with pytest.raises(ValueError):
+            classify_route_match(diamond_model, 1, (2, 4))
+
+    def test_match_kind_helper(self):
+        assert MatchKind.RIB_OUT.is_rib_in_or_better
+        assert MatchKind.RIB_IN.is_rib_in_or_better
+        assert not MatchKind.NONE.is_rib_in_or_better
+
+
+class TestClassifyAgreement:
+    def test_agree(self, diamond_model):
+        assert (
+            classify_agreement(diamond_model, 1, (1, 2, 4))
+            is AgreementCategory.AGREE
+        )
+
+    def test_tie_break_category(self, diamond_model):
+        assert (
+            classify_agreement(diamond_model, 1, (1, 3, 4))
+            is AgreementCategory.TIE_BREAK
+        )
+
+    def test_shorter_exists_category(self):
+        ds = dataset_from_paths((1, 2, 4), (1, 3, 2, 4))
+        model = build_initial_model(ds)
+        model.simulate_all()
+        assert (
+            classify_agreement(model, 1, (1, 3, 2, 4))
+            is AgreementCategory.SHORTER_EXISTS
+        )
+
+    def test_not_available_category(self, diamond_model):
+        prefix = diamond_model.canonical_prefix(4)
+        router_1 = diamond_model.quasi_routers(1)[0]
+        router_3 = diamond_model.quasi_routers(3)[0]
+        session = diamond_model.network.get_session(router_3, router_1)
+        session.ensure_export_map().append(Clause(Match(prefix=prefix), Action.DENY))
+        diamond_model.simulate_origin(4)
+        assert (
+            classify_agreement(diamond_model, 1, (1, 3, 4))
+            is AgreementCategory.NOT_AVAILABLE
+        )
+
+
+class TestAggregation:
+    def test_unique_cases_dedupe(self):
+        ds = PathDataset(
+            [
+                ObservedRoute("a", 1, P, ASPath((1, 2, 4))),
+                ObservedRoute("b", 1, P, ASPath((1, 2, 4))),
+                ObservedRoute("a", 1, Prefix("10.0.1.0/24"), ASPath((1, 2, 4))),
+            ]
+        )
+        assert unique_cases(ds) == [(1, (1, 2, 4))]
+
+    def test_evaluate_dataset_counts(self, diamond_model):
+        ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
+        report = evaluate_dataset(diamond_model, ds)
+        assert report.total == 2
+        assert report.counts[MatchKind.RIB_OUT] == 1
+        assert report.counts[MatchKind.POTENTIAL_RIB_OUT] == 1
+        assert report.tie_break_or_better_rate == 1.0
+
+    def test_coverage_by_origin(self, diamond_model):
+        ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
+        report = evaluate_dataset(diamond_model, ds)
+        matched, total = report.coverage_by_origin[4]
+        assert (matched, total) == (1, 2)
+        assert report.prefixes_with_coverage(0.5) == 1
+        assert report.prefixes_with_coverage(1.0) == 0
+
+    def test_report_rates_empty(self):
+        report = MatchReport()
+        assert report.rib_out_rate == 0.0
+        assert report.rib_in_or_better_rate == 0.0
+
+    def test_as_dict_keys(self, diamond_model):
+        ds = dataset_from_paths((1, 2, 4))
+        report = evaluate_dataset(diamond_model, ds)
+        flat = report.as_dict()
+        assert flat["rib_out"] == 1.0
+        assert "origins_100%" in flat
+
+    def test_evaluate_agreement_totals(self, diamond_model):
+        ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
+        counts = evaluate_agreement(diamond_model, ds)
+        assert sum(counts.values()) == 2

@@ -1,0 +1,90 @@
+"""Unit tests for the AS-routing model object and initial-model builder."""
+
+import pytest
+
+from repro.core.build import build_initial_model
+from repro.core.model import MODEL_DECISION_CONFIG
+from repro.errors import TopologyError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix, prefix_for_asn
+from repro.topology.dataset import ObservedRoute, PathDataset
+from repro.topology.graph import ASGraph
+
+P = Prefix("10.0.0.0/24")
+
+
+def dataset_from_paths(*paths):
+    ds = PathDataset()
+    for path in paths:
+        ds.add(ObservedRoute(f"p{path[0]}", path[0], P, ASPath(path)))
+    return ds
+
+
+class TestBuildInitialModel:
+    def test_one_quasi_router_per_as(self):
+        model = build_initial_model(dataset_from_paths((1, 2, 3), (1, 4, 3)))
+        for asn in (1, 2, 3, 4):
+            assert len(model.quasi_routers(asn)) == 1
+
+    def test_sessions_follow_graph_edges(self):
+        model = build_initial_model(dataset_from_paths((1, 2, 3)))
+        assert model.network.as_adjacencies() == {(1, 2), (2, 3)}
+
+    def test_every_as_originates_canonical_prefix(self):
+        model = build_initial_model(dataset_from_paths((1, 2, 3)))
+        for asn in (1, 2, 3):
+            prefix = model.canonical_prefix(asn)
+            assert model.network.originators(prefix)
+            assert model.origin_of(prefix) == asn
+
+    def test_canonical_prefix_encodes_asn(self):
+        model = build_initial_model(dataset_from_paths((1, 2)))
+        assert model.canonical_prefix(2) == prefix_for_asn(2)
+
+    def test_explicit_graph_overrides_dataset(self):
+        graph = ASGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+        model = build_initial_model(dataset_from_paths((1, 2)), graph)
+        assert 4 in model.network.ases
+
+    def test_unknown_origin_raises(self):
+        model = build_initial_model(dataset_from_paths((1, 2)))
+        with pytest.raises(TopologyError):
+            model.canonical_prefix(99)
+        with pytest.raises(TopologyError):
+            model.origin_of(P)
+
+
+class TestModelSimulation:
+    def test_model_decision_config(self):
+        assert MODEL_DECISION_CONFIG.med_always_compare
+        assert not MODEL_DECISION_CONFIG.use_igp_cost
+
+    def test_simulate_all_fills_ribs(self):
+        model = build_initial_model(dataset_from_paths((1, 2, 3)))
+        model.simulate_all()
+        prefix = model.canonical_prefix(3)
+        best = model.quasi_routers(1)[0].best(prefix)
+        assert best is not None and best.as_path == (2, 3)
+
+    def test_simulate_origin_refreshes_one_prefix(self):
+        model = build_initial_model(dataset_from_paths((1, 2, 3)))
+        model.simulate_all()
+        router_1 = model.quasi_routers(1)[0]
+        router_2 = model.quasi_routers(2)[0]
+        model.network.disconnect(router_1, router_2)
+        model.graph.remove_edge(1, 2)
+        model.simulate_origin(3)
+        assert router_1.best(model.canonical_prefix(3)) is None
+
+    def test_stats_and_counts(self):
+        model = build_initial_model(dataset_from_paths((1, 2, 3)))
+        stats = model.stats()
+        assert stats["ases"] == 3
+        assert stats["policy_clauses"] == 0
+        assert model.quasi_router_counts() == {1: 1, 2: 1, 3: 1}
+
+    def test_add_origin_idempotent(self):
+        model = build_initial_model(dataset_from_paths((1, 2)))
+        first = model.add_origin(1)
+        second = model.add_origin(1)
+        assert first == second

@@ -1,0 +1,121 @@
+"""Tests for prediction and what-if analysis."""
+
+import pytest
+
+from repro.core.build import build_initial_model
+from repro.core.predict import (
+    evaluate_model,
+    predict_for_origins,
+    predict_paths,
+    simulate_for_dataset,
+)
+from repro.core.refine import Refiner
+from repro.core.whatif import depeer, simulate_link_failure
+from repro.errors import TopologyError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+P = Prefix("10.0.0.0/24")
+
+
+def dataset_from_paths(*paths):
+    ds = PathDataset()
+    for index, path in enumerate(paths):
+        ds.add(ObservedRoute(f"p{index}", path[0], P, ASPath(path)))
+    return ds
+
+
+@pytest.fixture
+def refined_diamond():
+    ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
+    model = build_initial_model(ds)
+    Refiner(model, ds).run()
+    return model, ds
+
+
+class TestPredictPaths:
+    def test_returns_full_paths(self, refined_diamond):
+        model, _ = refined_diamond
+        paths = predict_paths(model, 4, 1, resimulate=True)
+        assert paths == {(1, 2, 4), (1, 3, 4)}
+
+    def test_single_router_single_path(self, refined_diamond):
+        model, _ = refined_diamond
+        paths = predict_paths(model, 4, 2, resimulate=True)
+        assert paths == {(2, 4)}
+
+    def test_origin_predicts_itself(self, refined_diamond):
+        model, _ = refined_diamond
+        assert predict_paths(model, 4, 4, resimulate=True) == {(4,)}
+
+    def test_predict_for_origins_skips_unknown(self, refined_diamond):
+        model, _ = refined_diamond
+        model.simulate_all()
+        result = predict_for_origins(model, [4, 999], 1)
+        assert set(result) == {4}
+
+
+class TestEvaluateModel:
+    def test_evaluates_after_resimulation(self, refined_diamond):
+        model, ds = refined_diamond
+        report = evaluate_model(model, ds)
+        assert report.rib_out_rate == 1.0
+
+    def test_skips_origins_not_in_model(self, refined_diamond):
+        model, _ = refined_diamond
+        foreign = dataset_from_paths((1, 2, 4))
+        foreign.add(ObservedRoute("x", 1, P, ASPath((1, 999))))
+        report = evaluate_model(model, foreign)
+        assert report.total == 1  # the (1, 999) case was excluded
+
+    def test_simulate_for_dataset_counts(self, refined_diamond):
+        model, ds = refined_diamond
+        assert simulate_for_dataset(model, ds) == 1  # one origin (AS4)
+
+
+class TestWhatIf:
+    def test_depeer_removes_sessions_and_edge(self, refined_diamond):
+        model, _ = refined_diamond
+        report = depeer(model, 2, 4, origins=[4], observers=[1, 2, 3])
+        assert not model.graph.has_edge(2, 4)
+        assert all(
+            session.dst.asn != 4 or session.src.asn != 2
+            for session in model.network.sessions.values()
+        )
+        assert "AS2-AS4" in report.description
+
+    def test_depeer_reroutes_observer(self, refined_diamond):
+        model, _ = refined_diamond
+        report = depeer(model, 2, 4, origins=[4], observers=[1, 2])
+        changed_pairs = {(c.observer_asn, c.origin_asn) for c in report.changes}
+        assert (2, 4) in changed_pairs  # AS2 must now go via 1 or 3
+        after = predict_paths(model, 4, 2)
+        assert after and all(path[1] != 4 for path in after)
+
+    def test_unreachable_detection(self):
+        # line 1-2-3: removing 2-3 cuts AS1 and AS2 off from AS3
+        ds = dataset_from_paths((1, 2, 3))
+        model = build_initial_model(ds)
+        model.simulate_all()
+        report = depeer(model, 2, 3, origins=[3], observers=[1, 2])
+        assert report.unreachable_pairs == 2
+
+    def test_unknown_edge_rejected(self, refined_diamond):
+        model, _ = refined_diamond
+        with pytest.raises(TopologyError):
+            depeer(model, 2, 3)
+
+    def test_multi_edge_failure(self, refined_diamond):
+        model, _ = refined_diamond
+        report = simulate_link_failure(
+            model, [(2, 4), (3, 4)], origins=[4], observers=[1]
+        )
+        assert report.unreachable_pairs == 1
+
+    def test_no_change_for_unrelated_link(self):
+        ds = dataset_from_paths((1, 2, 4), (5, 2, 4), (1, 3, 4))
+        model = build_initial_model(ds)
+        model.simulate_all()
+        report = depeer(model, 1, 3, origins=[4], observers=[5])
+        assert report.affected_pairs == 0

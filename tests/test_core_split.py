@@ -1,0 +1,98 @@
+"""Unit tests for training/validation splitting."""
+
+import pytest
+
+from repro.core.split import split_by_observation_points, split_by_origin
+from repro.errors import DatasetError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+P = Prefix("10.0.0.0/24")
+
+
+def build_dataset(n_points=6, n_origins=5):
+    ds = PathDataset()
+    for point in range(n_points):
+        observer = 100 + point
+        for origin in range(n_origins):
+            ds.add(
+                ObservedRoute(
+                    f"op{point}", observer, P, ASPath((observer, 50, 200 + origin))
+                )
+            )
+    return ds
+
+
+class TestSplitByObservationPoints:
+    def test_partitions_points(self):
+        ds = build_dataset()
+        train, val = split_by_observation_points(ds, 0.5, seed=1)
+        train_points = set(train.observation_points())
+        val_points = set(val.observation_points())
+        assert train_points | val_points == set(ds.observation_points())
+        assert not train_points & val_points
+
+    def test_routes_follow_their_point(self):
+        ds = build_dataset()
+        train, val = split_by_observation_points(ds, 0.5, seed=1)
+        assert len(train) + len(val) == len(ds)
+
+    def test_fraction_respected(self):
+        ds = build_dataset(n_points=10)
+        train, _ = split_by_observation_points(ds, 0.3, seed=2)
+        assert len(train.observation_points()) == 3
+
+    def test_both_sides_non_empty_at_extremes(self):
+        ds = build_dataset(n_points=3)
+        train, val = split_by_observation_points(ds, 0.01, seed=0)
+        assert train.observation_points() and val.observation_points()
+        train, val = split_by_observation_points(ds, 0.99, seed=0)
+        assert train.observation_points() and val.observation_points()
+
+    def test_deterministic_in_seed(self):
+        ds = build_dataset()
+        a_train, _ = split_by_observation_points(ds, 0.5, seed=7)
+        b_train, _ = split_by_observation_points(ds, 0.5, seed=7)
+        assert set(a_train.observation_points()) == set(b_train.observation_points())
+
+    def test_different_seeds_differ(self):
+        ds = build_dataset(n_points=10)
+        splits = {
+            frozenset(split_by_observation_points(ds, 0.5, seed=s)[0].observation_points())
+            for s in range(5)
+        }
+        assert len(splits) > 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_by_observation_points(build_dataset(), 0.0)
+        with pytest.raises(ValueError):
+            split_by_observation_points(build_dataset(), 1.0)
+
+    def test_rejects_single_point(self):
+        ds = build_dataset(n_points=1)
+        with pytest.raises(DatasetError):
+            split_by_observation_points(ds, 0.5)
+
+
+class TestSplitByOrigin:
+    def test_partitions_origins(self):
+        ds = build_dataset()
+        train, val = split_by_origin(ds, 0.5, seed=1)
+        assert not train.origin_asns() & val.origin_asns()
+        assert train.origin_asns() | val.origin_asns() == ds.origin_asns()
+
+    def test_all_routes_kept(self):
+        ds = build_dataset()
+        train, val = split_by_origin(ds, 0.5, seed=1)
+        assert len(train) + len(val) == len(ds)
+
+    def test_rejects_single_origin(self):
+        ds = build_dataset(n_origins=1)
+        with pytest.raises(DatasetError):
+            split_by_origin(ds, 0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_by_origin(build_dataset(), -0.1)

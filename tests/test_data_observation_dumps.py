@@ -1,0 +1,167 @@
+"""Unit tests for observation points and bgpdump round-trips."""
+
+import io
+
+from repro.data.dumps import SNAPSHOT_TIME, read_table_dump, write_table_dump
+from repro.data.observation import collect_dataset, select_observation_points
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.classify import Level
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+
+class TestSelection:
+    def test_respects_as_budget(self, mini_internet):
+        points = select_observation_points(mini_internet, 8, seed=1)
+        assert len({p.asn for p in points}) == 8
+
+    def test_points_reference_real_routers(self, mini_internet):
+        points = select_observation_points(mini_internet, 8, seed=1)
+        for point in points:
+            router = mini_internet.network.routers[point.router_id]
+            assert router.asn == point.asn
+
+    def test_multi_point_fraction_creates_multi_feeds(self, mini_internet):
+        points = select_observation_points(
+            mini_internet, 14, seed=1, multi_point_fraction=1.0
+        )
+        by_as = {}
+        for point in points:
+            by_as.setdefault(point.asn, []).append(point)
+        multi = [asn for asn, pts in by_as.items() if len(pts) > 1]
+        assert multi  # every multi-router AS chosen got several feeds
+
+    def test_zero_multi_fraction_single_feeds(self, mini_internet):
+        points = select_observation_points(
+            mini_internet, 10, seed=1, multi_point_fraction=0.0
+        )
+        by_as = {}
+        for point in points:
+            by_as[point.asn] = by_as.get(point.asn, 0) + 1
+        assert all(count == 1 for count in by_as.values())
+
+    def test_deterministic(self, mini_internet):
+        a = select_observation_points(mini_internet, 10, seed=3)
+        b = select_observation_points(mini_internet, 10, seed=3)
+        assert a == b
+
+    def test_core_bias(self, mini_internet):
+        """Tier-1/level-2 ASes are overrepresented among observation points."""
+        points = select_observation_points(mini_internet, 12, seed=2)
+        core = set(mini_internet.level1_asns) | set(
+            mini_internet.level_asns(Level.LEVEL2)
+        )
+        chosen_core = sum(1 for p in points if p.asn in core)
+        core_fraction_everywhere = len(core) / len(mini_internet.network.ases)
+        assert chosen_core / len({p.asn for p in points}) > core_fraction_everywhere
+
+
+class TestCollection:
+    def test_paths_start_with_observer(self, mini_internet, mini_dataset):
+        for route in mini_dataset:
+            assert route.path.head_asn == route.observer_asn
+
+    def test_own_prefix_recorded_as_trivial_path(self, mini_internet):
+        points = select_observation_points(mini_internet, 6, seed=4)
+        dataset = collect_dataset(mini_internet.network, points)
+        point = points[0]
+        own_prefixes = mini_internet.prefixes_by_as[point.asn]
+        own = [
+            r
+            for r in dataset
+            if r.point_id == point.point_id and r.prefix in own_prefixes
+        ]
+        assert own and all(r.path.asns == (point.asn,) for r in own)
+
+    def test_exclude_own_prefixes(self, mini_internet):
+        points = select_observation_points(mini_internet, 6, seed=4)
+        dataset = collect_dataset(
+            mini_internet.network, points, include_own_prefixes=False
+        )
+        assert all(len(r.path) > 1 for r in dataset)
+
+    def test_paths_match_loc_rib(self, mini_internet):
+        points = select_observation_points(mini_internet, 6, seed=4)
+        dataset = collect_dataset(mini_internet.network, points)
+        for route in dataset.routes()[:50]:
+            router = next(
+                mini_internet.network.routers[p.router_id]
+                for p in points
+                if p.point_id == route.point_id
+            )
+            best = router.best(route.prefix)
+            assert (route.observer_asn,) + best.as_path == route.path.asns
+
+
+class TestDumps:
+    def make_dataset(self):
+        ds = PathDataset()
+        ds.add(ObservedRoute("op-1-0", 1, Prefix("10.0.0.0/24"), ASPath((1, 2, 3))))
+        ds.add(ObservedRoute("op-1-1", 1, Prefix("10.0.0.0/24"), ASPath((1, 3))))
+        ds.add(ObservedRoute("op-5-0", 5, Prefix("10.0.1.0/24"), ASPath((5, 3))))
+        return ds
+
+    def test_round_trip_preserves_entries(self):
+        ds = self.make_dataset()
+        buffer = io.StringIO()
+        lines = write_table_dump(ds, buffer)
+        assert lines == 3
+        result = read_table_dump(io.StringIO(buffer.getvalue()))
+        assert result.lines == 3
+        assert result.dataset.unique_paths() == ds.unique_paths()
+        assert len(result.dataset.observation_points()) == 3
+
+    def test_round_trip_through_file(self, tmp_path):
+        ds = self.make_dataset()
+        path = tmp_path / "rib.dump"
+        write_table_dump(ds, path)
+        result = read_table_dump(path)
+        assert result.dataset.summary()["routes"] == 3
+
+    def test_timestamp_written(self):
+        buffer = io.StringIO()
+        write_table_dump(self.make_dataset(), buffer, timestamp=SNAPSHOT_TIME)
+        assert f"|{SNAPSHOT_TIME}|" in buffer.getvalue()
+
+    def test_skips_as_set_lines(self):
+        text = (
+            "TABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 2 {3,4}|IGP|0.1.0.1|0|0||NAG|\n"
+            "TABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 2|IGP|0.1.0.1|0|0||NAG|\n"
+        )
+        result = read_table_dump(io.StringIO(text))
+        assert result.skipped_as_set == 1
+        assert len(result.dataset) == 1
+
+    def test_skips_malformed_lines(self):
+        text = "garbage\nTABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 2|IGP\n"
+        result = read_table_dump(io.StringIO(text))
+        assert result.skipped_malformed == 1
+        assert len(result.dataset) == 1
+
+    def test_strict_mode_raises(self):
+        import pytest
+
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            read_table_dump(io.StringIO("garbage|line\n"), strict=True)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\nTABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 2|IGP|x|0|0||NAG|\n"
+        result = read_table_dump(io.StringIO(text))
+        assert result.lines == 1 and len(result.dataset) == 1
+
+    def test_path_must_start_at_peer_as(self):
+        text = "TABLE_DUMP2|1|B|0.1.0.1|9|10.0.0.0/24|1 2|IGP|x|0|0||NAG|\n"
+        result = read_table_dump(io.StringIO(text))
+        assert result.skipped_malformed == 1
+
+    def test_synthetic_dump_round_trip(self, mini_internet, mini_dataset):
+        buffer = io.StringIO()
+        write_table_dump(mini_dataset, buffer)
+        result = read_table_dump(io.StringIO(buffer.getvalue()))
+        assert result.dataset.unique_paths() == mini_dataset.unique_paths()
+        assert (
+            result.dataset.summary()["observation_points"]
+            == mini_dataset.summary()["observation_points"]
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for the synthetic-Internet generator."""
+
+from repro.bgp import simulate
+from repro.data.synthesis import (
+    SyntheticConfig,
+    synthesize_internet,
+)
+from repro.relationships.types import Relationship
+from repro.topology.classify import Level
+
+SMALL = SyntheticConfig(seed=9, n_level1=3, n_level2=5, n_other=8, n_stub=15)
+
+
+class TestStructure:
+    def test_population_counts(self):
+        internet = synthesize_internet(SMALL)
+        assert len(internet.level1_asns) == 3
+        assert len(internet.level_asns(Level.LEVEL2)) == 5
+        total = 3 + 5 + 8 + 15
+        assert len(internet.network.ases) == total
+
+    def test_tier1_clique_is_complete(self):
+        internet = synthesize_internet(SMALL)
+        adjacencies = internet.network.as_adjacencies()
+        level1 = internet.level1_asns
+        for i, a in enumerate(level1):
+            for b in level1[i + 1 :]:
+                assert (min(a, b), max(a, b)) in adjacencies
+                assert internet.relationships.get(a, b) is Relationship.PEER
+
+    def test_every_non_tier1_has_a_provider(self):
+        internet = synthesize_internet(SMALL)
+        level1 = set(internet.level1_asns)
+        for asn in internet.network.ases:
+            if asn in level1:
+                continue
+            providers = {
+                b
+                for a, b, rel in internet.relationships.edges()
+                if a == asn and rel is Relationship.PROVIDER
+            } | {
+                a
+                for a, b, rel in internet.relationships.edges()
+                if b == asn and rel is Relationship.CUSTOMER
+            }
+            assert providers, f"AS {asn} has no provider"
+
+    def test_igp_connected_per_as(self):
+        internet = synthesize_internet(SMALL)
+        for node in internet.network.ases.values():
+            assert node.igp.is_connected()
+
+    def test_ibgp_full_mesh_per_as(self):
+        internet = synthesize_internet(SMALL)
+        for node in internet.network.ases.values():
+            routers = node.routers
+            for i, a in enumerate(routers):
+                for b in routers[i + 1 :]:
+                    assert internet.network.get_session(a, b) is not None
+
+    def test_prefixes_originated_at_all_routers(self):
+        internet = synthesize_internet(SMALL)
+        for asn, prefixes in internet.prefixes_by_as.items():
+            routers = internet.network.as_routers(asn)
+            for prefix in prefixes:
+                assert set(internet.network.originators(prefix)) == {
+                    r.router_id for r in routers
+                }
+
+    def test_origin_of(self):
+        internet = synthesize_internet(SMALL)
+        asn = internet.level1_asns[0]
+        prefix = internet.prefixes_by_as[asn][0]
+        assert internet.origin_of(prefix) == asn
+
+    def test_deterministic_in_seed(self):
+        a = synthesize_internet(SMALL)
+        b = synthesize_internet(SMALL)
+        assert a.network.stats() == b.network.stats()
+        assert a.selective_origins == b.selective_origins
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+
+        other = dataclasses.replace(SMALL, seed=10)
+        a = synthesize_internet(SMALL)
+        b = synthesize_internet(other)
+        assert a.network.stats() != b.network.stats() or (
+            a.selective_origins != b.selective_origins
+        )
+
+    def test_scaled_config(self):
+        scaled = SMALL.scaled(2.0)
+        assert scaled.n_stub == 30
+        assert scaled.n_level2 == 10
+        assert scaled.seed == SMALL.seed
+
+
+class TestGroundTruthBehaviour:
+    def test_simulation_converges(self):
+        internet = synthesize_internet(SMALL)
+        stats = simulate(internet.network)
+        assert stats.prefixes == len(internet.network.prefixes())
+        assert not stats.diverged
+
+    def test_weird_policies_recorded(self):
+        internet = synthesize_internet(SMALL)
+        assert internet.weird_sessions  # fraction > 0 at this size
+        for session_id in internet.weird_sessions:
+            assert session_id in internet.network.sessions
+
+    def test_full_reachability_without_weird_policies(self):
+        import dataclasses
+
+        config = dataclasses.replace(
+            SMALL,
+            weird_session_fraction=0.0,
+            selective_announce_fraction=0.0,
+        )
+        internet = synthesize_internet(config)
+        simulate(internet.network)
+        # every router reaches every prefix (no filters block origins)
+        for prefix in internet.network.prefixes():
+            for router in internet.network.routers.values():
+                assert router.best(prefix) is not None, (
+                    f"{router.name} cannot reach {prefix}"
+                )
+
+    def test_selective_announcement_blocks_somewhere(self):
+        internet = synthesize_internet(SMALL)
+        assert internet.selective_origins
+        # a selective origin denies at least one prefix on some session
+        asn = internet.selective_origins[0]
+        denies = 0
+        for router in internet.network.as_routers(asn):
+            for session in router.sessions_out:
+                if session.export_map is not None:
+                    denies += sum(
+                        1
+                        for clause in session.export_map.clauses()
+                        if clause.tag == "weird"
+                    )
+        assert denies > 0
+
+    def test_prepending_origins_produce_padded_paths(self):
+        internet = synthesize_internet(SMALL)
+        simulate(internet.network)
+        found_padding = False
+        for asn in internet.prepending_origins:
+            for prefix in internet.prefixes_by_as[asn]:
+                for router in internet.network.routers.values():
+                    best = router.best(prefix)
+                    if best is None:
+                        continue
+                    path = best.as_path
+                    if any(a == b for a, b in zip(path, path[1:])):
+                        found_padding = True
+        assert found_padding
+
+
+class TestRouteReflection:
+    def test_rr_internet_converges_and_routes(self):
+        import dataclasses
+
+        from repro.forwarding import traceroute
+
+        config = dataclasses.replace(SMALL, route_reflection_threshold=3)
+        internet = synthesize_internet(config)
+        simulate(internet.network)
+        # some AS actually uses reflection
+        reflectors = [
+            router
+            for router in internet.network.routers.values()
+            if router.rr_clients
+        ]
+        assert reflectors
+        # reachability: sample prefixes are routed and forwardable
+        net = internet.network
+        delivered = 0
+        for prefix in net.prefixes()[:10]:
+            for router in list(net.routers.values())[:25]:
+                if router.best(prefix) is None:
+                    continue
+                if traceroute(net, router, prefix).delivered:
+                    delivered += 1
+        assert delivered > 50

@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (on a tiny workload)."""
+
+import pytest
+
+from repro.data.synthesis import SyntheticConfig
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig8,
+    prepare,
+    scaling,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.report import ExperimentResult, format_table
+from repro.experiments.workloads import Workload
+
+TINY = Workload(
+    name="tiny",
+    config=SyntheticConfig(seed=2, n_level1=3, n_level2=5, n_other=8, n_stub=16),
+    n_observation_ases=10,
+    multi_point_fraction=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return prepare(TINY)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["a", "bb"], [[1, 0.5], ["xx", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "50.0%" in text and "2.00" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_result_render_contains_everything(self):
+        result = ExperimentResult("X1", "demo", headers=["k"], rows=[["v"]])
+        result.metrics["m"] = 0.25
+        result.note("hello")
+        text = result.render()
+        assert "X1" in text and "demo" in text and "25.0%" in text and "hello" in text
+
+
+class TestPrepare:
+    def test_caches(self):
+        assert prepare(TINY) is prepare(TINY)
+
+    def test_pipeline_artifacts(self, prepared):
+        assert prepared.dataset.summary()["routes"] > 0
+        assert prepared.level1
+        assert prepared.training.observation_points()
+        assert prepared.validation.observation_points()
+        assert not (
+            set(prepared.training.observation_points())
+            & set(prepared.validation.observation_points())
+        )
+
+
+class TestSection3Experiments:
+    def test_fig2_fractions_sum_to_one(self, prepared):
+        result = fig2.run(prepared)
+        assert abs(sum(row[2] for row in result.rows) - 1.0) < 1e-9
+        assert 0.0 <= result.metrics["fraction_multipath"] <= 1.0
+
+    def test_table1_quantiles_monotone(self, prepared):
+        result = table1.run(prepared)
+        values = [row[1] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_fig3_extracts_most_diverse(self, prepared):
+        result = fig3.run(prepared)
+        assert result.metrics["distinct_paths"] >= 1
+        assert len(result.rows) == result.metrics["distinct_paths"]
+
+
+class TestTable2:
+    def test_rows_cover_all_categories(self, prepared):
+        result = table2.run(prepared)
+        labels = {row[0] for row in result.rows}
+        assert "AS-paths which agree" in labels
+        assert "  AS-path not available" in labels
+        # measured shares sum to 1 across the exclusive categories
+        exclusive = [
+            row for row in result.rows if row[0] != "AS-paths which disagree"
+        ]
+        assert abs(sum(row[1] for row in exclusive) - 1.0) < 1e-9
+
+    def test_policy_baseline_not_better_at_availability(self, prepared):
+        """Relationship filters can only remove routes, never add them."""
+        result = table2.run(prepared)
+        by_label = {row[0]: row for row in result.rows}
+        shortest_na = by_label["  AS-path not available"][1]
+        policies_na = by_label["  AS-path not available"][3]
+        assert policies_na >= shortest_na - 1e-9
+
+
+class TestRefinementExperiments:
+    def test_table3_training_converges(self, prepared):
+        result = table3.run(prepared)
+        assert result.metrics["converged"] == 1.0
+        assert result.metrics["final_training_rib_out"] == 1.0
+
+    def test_table4_validation_beats_baselines(self, prepared):
+        baseline = table2.run(prepared)
+        result = table4.run(prepared)
+        assert (
+            result.metrics["validation_rib_out"]
+            > baseline.metrics["shortest_agree"] - 0.2
+        )
+        assert result.metrics["validation_tie_break_or_better"] > 0.5
+
+    def test_table5_origin_split_runs(self, prepared):
+        result = table5.run(prepared)
+        assert result.metrics["converged"] == 1.0
+        assert 0.0 <= result.metrics["validation_rib_out"] <= 1.0
+
+    def test_fig8_distribution(self, prepared):
+        result = fig8.run(prepared)
+        assert result.metrics["single_router_fraction"] > 0.3
+        assert result.metrics["max_quasi_routers"] >= 1
+        total = sum(row[1] for row in result.rows)
+        assert total == result.metrics["ases"]
+
+
+class TestAblations:
+    def test_observation_point_sweep_monotone_trend(self, prepared):
+        result = ablations.observation_points(prepared, fractions=(0.3, 1.0))
+        assert len(result.rows) == 2
+        low, high = result.rows[0][3], result.rows[1][3]
+        assert high >= low - 0.1  # allow noise, expect improvement
+
+    def test_mechanism_ablation_full_wins_training(self, prepared):
+        result = ablations.policy_mechanisms(prepared)
+        rates = {row[0]: row[3] for row in result.rows}
+        assert rates["full (paper)"] == 1.0
+        assert rates["no policies"] < 1.0
+        assert rates["no duplication"] < 1.0
+
+
+class TestScaling:
+    def test_scaling_rows(self):
+        result = scaling.run(TINY, factors=(0.5, 1.0))
+        assert len(result.rows) == 2
+        # larger topology, more messages
+        assert result.rows[1][5] > result.rows[0][5]
+
+
+class TestDeflection:
+    def test_ground_truth_is_forwarding_consistent(self, prepared):
+        from repro.experiments import deflection
+
+        result = deflection.run(prepared, samples=500)
+        assert result.metrics["loop_rate"] == 0.0
+        assert result.metrics["agreement"] > 0.95

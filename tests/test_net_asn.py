@@ -1,0 +1,59 @@
+"""Unit tests for repro.net.asn."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.net.asn import AS_TRANS, format_asdot, is_private_asn, parse_asn
+
+
+class TestParseAsn:
+    def test_parses_asplain(self):
+        assert parse_asn("3356") == 3356
+
+    def test_parses_asdot(self):
+        assert parse_asn("1.10") == 65536 + 10
+
+    def test_parses_as_prefix(self):
+        assert parse_asn("AS701") == 701
+        assert parse_asn("as701") == 701
+
+    def test_parses_four_byte(self):
+        assert parse_asn("4200000000") == 4200000000
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1.2.3", "70000.1", "1.70000",
+                                     "4294967296"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_asn(bad)
+
+
+class TestFormatAsdot:
+    def test_two_byte_stays_plain(self):
+        assert format_asdot(3356) == "3356"
+
+    def test_four_byte_uses_dot(self):
+        assert format_asdot(65536 + 10) == "1.10"
+
+    def test_round_trip(self):
+        for asn in (1, 65535, 65536, 4200000000):
+            assert parse_asn(format_asdot(asn)) == asn
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_asdot(-1)
+        with pytest.raises(ValueError):
+            format_asdot(1 << 32)
+
+
+class TestPrivateRanges:
+    def test_private_16bit_range(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert not is_private_asn(64511)
+
+    def test_private_32bit_range(self):
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(4199999999)
+
+    def test_as_trans_is_not_private(self):
+        assert not is_private_asn(AS_TRANS)

@@ -1,0 +1,62 @@
+"""Unit tests for repro.net.community."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.net.community import NO_ADVERTISE, NO_EXPORT, Community, parse_community
+
+
+class TestConstruction:
+    def test_from_pair(self):
+        community = Community(3356, 70)
+        assert community.high == 3356
+        assert community.low == 70
+        assert community.value == (3356 << 16) | 70
+
+    def test_from_raw_value(self):
+        assert Community(0x0D1C0046).high == 3356
+
+    def test_from_string(self):
+        assert Community("3356:70") == Community(3356, 70)
+
+    def test_rejects_component_overflow(self):
+        with pytest.raises(ValueError):
+            Community(70000, 1)
+
+    def test_rejects_raw_overflow(self):
+        with pytest.raises(ValueError):
+            Community(1 << 32)
+
+
+class TestParsing:
+    def test_parses_pair(self):
+        assert parse_community("100:200").value == (100 << 16) | 200
+
+    def test_parses_bare_integer(self):
+        assert parse_community("12345").value == 12345
+
+    def test_parses_well_known_names(self):
+        assert parse_community("no-export") == NO_EXPORT
+        assert parse_community("no-advertise") == NO_ADVERTISE
+
+    @pytest.mark.parametrize("bad", ["", "a:b", "1:2:3", "70000:1", "1:70000"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_community(bad)
+
+
+class TestFormatting:
+    def test_str_pair(self):
+        assert str(Community(65535, 1)) == "65535:1"
+
+    def test_str_well_known(self):
+        assert str(Community(NO_EXPORT)) == "no-export"
+
+    def test_ordering(self):
+        assert Community(1, 1) < Community(1, 2) < Community(2, 0)
+
+    def test_int_equality(self):
+        assert Community(0, 5) == 5
+
+    def test_hashable(self):
+        assert len({Community(1, 2), Community("1:2")}) == 1

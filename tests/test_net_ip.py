@@ -1,0 +1,74 @@
+"""Unit tests for repro.net.ip."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.net.ip import IPv4Address, ip_from_string, ip_to_string
+
+
+class TestIpFromString:
+    def test_parses_simple_address(self):
+        assert ip_from_string("10.0.0.1") == (10 << 24) | 1
+
+    def test_parses_zero(self):
+        assert ip_from_string("0.0.0.0") == 0
+
+    def test_parses_broadcast(self):
+        assert ip_from_string("255.255.255.255") == 0xFFFFFFFF
+
+    def test_strips_whitespace(self):
+        assert ip_from_string(" 1.2.3.4 ") == ip_from_string("1.2.3.4")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4", "01.2.3.4", ""],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            ip_from_string(bad)
+
+
+class TestIpToString:
+    def test_formats_simple_address(self):
+        assert ip_to_string((192 << 24) | (168 << 16) | 5) == "192.168.0.5"
+
+    def test_round_trip(self):
+        for text in ("0.0.0.0", "10.20.30.40", "255.255.255.255"):
+            assert ip_to_string(ip_from_string(text)) == text
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_string(1 << 32)
+        with pytest.raises(ValueError):
+            ip_to_string(-1)
+
+
+class TestIPv4Address:
+    def test_constructs_from_string(self):
+        assert IPv4Address("1.2.3.4").value == ip_from_string("1.2.3.4")
+
+    def test_constructs_from_int(self):
+        assert str(IPv4Address(0x01020304)) == "1.2.3.4"
+
+    def test_ordering_is_numeric(self):
+        assert IPv4Address("1.2.3.4") < IPv4Address("1.2.3.5")
+        assert IPv4Address("2.0.0.0") > IPv4Address("1.255.255.255")
+
+    def test_compares_with_int(self):
+        assert IPv4Address("0.0.0.1") == 1
+        assert IPv4Address("0.0.0.1") < 2
+
+    def test_hashable_and_equal(self):
+        assert {IPv4Address("1.1.1.1"), IPv4Address("1.1.1.1")} == {
+            IPv4Address("1.1.1.1")
+        }
+
+    def test_int_conversion(self):
+        assert int(IPv4Address("0.0.1.0")) == 256
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+
+    def test_repr_contains_dotted_quad(self):
+        assert "1.2.3.4" in repr(IPv4Address("1.2.3.4"))

@@ -1,0 +1,109 @@
+"""Unit tests for repro.net.prefix."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.net.prefix import Prefix, prefix_for_asn
+
+
+class TestPrefixConstruction:
+    def test_parses_cidr_string(self):
+        prefix = Prefix("10.1.0.0/16")
+        assert prefix.length == 16
+        assert prefix.network == 10 << 24 | 1 << 16
+
+    def test_canonicalises_host_bits(self):
+        assert Prefix("10.1.2.3/16") == Prefix("10.1.0.0/16")
+
+    def test_zero_length_prefix(self):
+        assert Prefix("0.0.0.0/0").contains(Prefix("255.0.0.0/8"))
+
+    def test_full_length_prefix(self):
+        assert Prefix("1.2.3.4/32").network == Prefix("1.2.3.4/32").network
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0/8", "x/8"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            Prefix(bad)
+
+    def test_rejects_length_with_string(self):
+        with pytest.raises(TypeError):
+            Prefix("10.0.0.0/8", 8)
+
+    def test_int_constructor_requires_length(self):
+        with pytest.raises(TypeError):
+            Prefix(0)
+
+
+class TestPrefixSemantics:
+    def test_contains_subprefix(self):
+        assert Prefix("10.0.0.0/8").contains(Prefix("10.1.0.0/16"))
+
+    def test_does_not_contain_superprefix(self):
+        assert not Prefix("10.1.0.0/16").contains(Prefix("10.0.0.0/8"))
+
+    def test_does_not_contain_disjoint(self):
+        assert not Prefix("10.0.0.0/8").contains(Prefix("11.0.0.0/8"))
+
+    def test_contains_host_address(self):
+        assert Prefix("10.0.0.0/8").contains(10 << 24 | 5)
+        assert not Prefix("10.0.0.0/8").contains(11 << 24)
+
+    def test_supernet_default_one_bit(self):
+        assert Prefix("10.1.0.0/16").supernet() == Prefix("10.0.0.0/15")
+
+    def test_supernet_explicit_length(self):
+        assert Prefix("10.1.2.0/24").supernet(8) == Prefix("10.0.0.0/8")
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(ValueError):
+            Prefix("10.0.0.0/8").supernet(16)
+
+    def test_subnets_partition(self):
+        parent = Prefix("10.0.0.0/8")
+        low, high = parent.subnets()
+        assert low == Prefix("10.0.0.0/9")
+        assert high == Prefix("10.128.0.0/9")
+        assert parent.contains(low) and parent.contains(high)
+
+    def test_subnets_of_host_route_rejected(self):
+        with pytest.raises(ValueError):
+            list(Prefix("1.2.3.4/32").subnets())
+
+    def test_ordering(self):
+        assert Prefix("9.0.0.0/8") < Prefix("10.0.0.0/8")
+        assert Prefix("10.0.0.0/8") < Prefix("10.0.0.0/16")
+
+    def test_str_round_trip(self):
+        for text in ("0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"):
+            assert str(Prefix(text)) == text
+
+    def test_hashable(self):
+        assert len({Prefix("10.0.0.0/8"), Prefix("10.0.0.0/8")}) == 1
+
+    def test_netmask(self):
+        assert Prefix("10.0.0.0/8").netmask == 0xFF000000
+        assert Prefix("0.0.0.0/0").netmask == 0
+
+
+class TestPrefixForAsn:
+    def test_encodes_asn_in_high_octets(self):
+        prefix = prefix_for_asn(3356)
+        assert prefix.length == 24
+        assert prefix.network >> 16 == 3356
+
+    def test_index_selects_third_octet(self):
+        assert prefix_for_asn(7, 1) != prefix_for_asn(7, 0)
+        assert prefix_for_asn(7, 1).network >> 8 & 0xFF == 1
+
+    def test_rejects_wide_asn(self):
+        with pytest.raises(ValueError):
+            prefix_for_asn(1 << 16)
+
+    def test_rejects_zero_asn(self):
+        with pytest.raises(ValueError):
+            prefix_for_asn(0)
+
+    def test_rejects_large_index(self):
+        with pytest.raises(ValueError):
+            prefix_for_asn(7, 256)

@@ -1,0 +1,138 @@
+"""Unit and property tests for the prefix radix trie."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ip import ip_from_string
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+def P(text: str) -> Prefix:
+    return Prefix(text)
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.longest_match(ip_from_string("1.2.3.4")) is None
+        assert P("10.0.0.0/8") not in trie
+
+    def test_insert_get_exact(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.get(P("10.0.0.0/8")) == "a"
+        assert trie.get(P("10.0.0.0/9")) is None
+        assert P("10.0.0.0/8") in trie
+        assert len(trie) == 1
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "b")
+        assert trie.get(P("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.remove(P("10.0.0.0/8"))
+        assert not trie.remove(P("10.0.0.0/8"))
+        assert len(trie) == 0
+        assert trie.get(P("10.0.0.0/8")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "default")
+        match = trie.longest_match(ip_from_string("200.1.2.3"))
+        assert match == (P("0.0.0.0/0"), "default")
+
+
+class TestLongestMatch:
+    def build(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 8)
+        trie.insert(P("10.1.0.0/16"), 16)
+        trie.insert(P("10.1.2.0/24"), 24)
+        trie.insert(P("192.168.0.0/16"), 99)
+        return trie
+
+    def test_most_specific_wins(self):
+        trie = self.build()
+        assert trie.longest_match(ip_from_string("10.1.2.3"))[1] == 24
+        assert trie.longest_match(ip_from_string("10.1.9.9"))[1] == 16
+        assert trie.longest_match(ip_from_string("10.9.9.9"))[1] == 8
+
+    def test_no_match_outside(self):
+        trie = self.build()
+        assert trie.longest_match(ip_from_string("11.0.0.1")) is None
+
+    def test_prefix_target_requires_containment(self):
+        trie = self.build()
+        # a /12 inside 10/8 matches the /8, not the /16 below it
+        assert trie.longest_match(P("10.0.0.0/12"))[1] == 8
+        # an exact stored prefix matches itself
+        assert trie.longest_match(P("10.1.0.0/16"))[1] == 16
+
+    def test_covering_lists_all(self):
+        trie = self.build()
+        covers = list(trie.covering(ip_from_string("10.1.2.3")))
+        assert [value for _, value in covers] == [8, 16, 24]
+
+    def test_items_sorted(self):
+        trie = self.build()
+        entries = list(trie.items())
+        assert entries == sorted(entries, key=lambda kv: kv[0])
+        assert len(entries) == 4
+
+
+prefix_strategy = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestProperties:
+    @given(st.dictionaries(prefix_strategy, st.integers(), max_size=30))
+    def test_exact_semantics_match_dict(self, entries):
+        trie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        assert len(trie) == len(entries)
+        for prefix, value in entries.items():
+            assert trie.get(prefix) == value
+        assert dict(trie.items()) == entries
+
+    @given(
+        st.dictionaries(prefix_strategy, st.integers(), max_size=30),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_longest_match_agrees_with_naive_scan(self, entries, address):
+        trie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        naive = None
+        for prefix in entries:
+            if prefix.contains(address):
+                if naive is None or prefix.length > naive.length:
+                    naive = prefix
+        match = trie.longest_match(address)
+        if naive is None:
+            assert match is None
+        else:
+            assert match == (naive, entries[naive])
+
+    @given(st.lists(prefix_strategy, max_size=20))
+    def test_remove_restores_previous_state(self, prefixes):
+        trie = PrefixTrie()
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        survivors = {}
+        for index, prefix in enumerate(prefixes):
+            survivors[prefix] = index  # last insert wins
+        for prefix in list(survivors)[::2]:
+            trie.remove(prefix)
+            del survivors[prefix]
+        assert dict(trie.items()) == survivors

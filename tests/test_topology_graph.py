@@ -1,0 +1,121 @@
+"""Unit tests for repro.topology.graph and clique inference."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.clique import infer_level1_clique
+from repro.topology.dataset import ObservedRoute, PathDataset
+from repro.topology.graph import ASGraph
+
+
+def dataset_from_paths(*paths):
+    ds = PathDataset()
+    prefix = Prefix("10.0.0.0/24")
+    for path in paths:
+        ds.add(ObservedRoute(f"p{path[0]}", path[0], prefix, ASPath(path)))
+    return ds
+
+
+class TestASGraph:
+    def test_from_dataset_extracts_edges(self):
+        graph = ASGraph.from_dataset(dataset_from_paths((1, 2, 3), (1, 4)))
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 3) and graph.has_edge(1, 4)
+        assert graph.num_ases() == 4 and graph.num_edges() == 3
+
+    def test_prepending_does_not_create_self_loop(self):
+        graph = ASGraph.from_dataset(dataset_from_paths((1, 2, 2, 3)))
+        assert not graph.has_edge(2, 2)
+        assert graph.num_edges() == 2
+
+    def test_from_edges(self):
+        graph = ASGraph.from_edges([(1, 2), (2, 3)])
+        assert graph.neighbors(2) == {1, 3}
+
+    def test_add_edge_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            ASGraph().add_edge(1, 1)
+
+    def test_remove_as_cleans_neighbors(self):
+        graph = ASGraph.from_edges([(1, 2), (2, 3)])
+        graph.remove_as(2)
+        assert 2 not in graph
+        assert graph.neighbors(1) == set() and graph.neighbors(3) == set()
+
+    def test_remove_edge(self):
+        graph = ASGraph.from_edges([(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+
+    def test_degree(self):
+        graph = ASGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert graph.degree(1) == 3 and graph.degree(2) == 1
+        assert graph.degree(99) == 0
+
+    def test_edges_canonical(self):
+        graph = ASGraph.from_edges([(3, 1), (2, 1)])
+        assert set(graph.edges()) == {(1, 3), (1, 2)}
+
+    def test_subgraph(self):
+        graph = ASGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+        sub = graph.subgraph({1, 2, 3})
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert 4 not in sub
+
+    def test_is_clique(self):
+        graph = ASGraph.from_edges([(1, 2), (1, 3), (2, 3), (3, 4)])
+        assert graph.is_clique({1, 2, 3})
+        assert not graph.is_clique({1, 2, 4})
+
+    def test_copy_independent(self):
+        graph = ASGraph.from_edges([(1, 2)])
+        clone = graph.copy()
+        clone.remove_edge(1, 2)
+        assert graph.has_edge(1, 2)
+
+    def test_to_networkx(self):
+        graph = ASGraph.from_edges([(1, 2), (2, 3)])
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 2
+
+
+class TestLevel1Clique:
+    def make_core_graph(self):
+        """Tier-1s 1,2,3 fully meshed; 4 peers with all of them; 5 with some."""
+        edges = [(1, 2), (1, 3), (2, 3)]
+        edges += [(4, 1), (4, 2), (4, 3)]
+        edges += [(5, 1), (5, 2)]
+        edges += [(6, 4)]  # customer of 4 boosts 4's degree
+        return ASGraph.from_edges(edges)
+
+    def test_grows_seed_to_maximal_clique(self):
+        graph = self.make_core_graph()
+        clique = infer_level1_clique(graph, [1, 2])
+        assert clique == {1, 2, 3, 4}
+
+    def test_seed_must_exist(self):
+        with pytest.raises(TopologyError):
+            infer_level1_clique(self.make_core_graph(), [99])
+
+    def test_seed_must_be_clique(self):
+        graph = self.make_core_graph()
+        with pytest.raises(TopologyError):
+            infer_level1_clique(graph, [5, 3])  # 5 and 3 not adjacent
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(TopologyError):
+            infer_level1_clique(self.make_core_graph(), [])
+
+    def test_result_is_complete_subgraph(self):
+        graph = self.make_core_graph()
+        clique = infer_level1_clique(graph, [1])
+        assert graph.is_clique(clique)
+
+    def test_degree_greedy_prefers_hubs(self):
+        # 4 has degree 4 (three tier-1 peers + customer 6): added before 5.
+        graph = self.make_core_graph()
+        clique = infer_level1_clique(graph, [1, 2])
+        assert 4 in clique and 5 not in clique
