@@ -12,7 +12,10 @@ Message processing is FIFO and single-threaded, so results are fully
 deterministic.  A message budget guards against policy configurations
 that make BGP diverge (e.g. local-pref dispute wheels, Section 4.6's
 motivation for avoiding local-pref in the refined model); exceeding it
-raises :class:`~repro.errors.SimulationError`.
+raises :class:`~repro.errors.ConvergenceError` (a
+:class:`~repro.errors.SimulationError`) carrying the prefix and the
+exhausted budget, so callers can retry with a bigger budget or
+quarantine the prefix (see :mod:`repro.resilience`).
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from repro.bgp.network import Network
 from repro.bgp.route import Route
 from repro.bgp.router import Router
 from repro.bgp.session import Session
-from repro.errors import SimulationError
+from repro.errors import ConvergenceError
 from repro.net.community import NO_ADVERTISE, NO_EXPORT
 from repro.net.prefix import Prefix
 
@@ -51,17 +54,45 @@ class EngineStats:
         self.diverged.extend(other.diverged)
 
 
+def default_message_budget(network: Network) -> int:
+    """The per-prefix message budget used when the caller does not set one.
+
+    Scales with the session count so bigger topologies get proportionally
+    more room before a simulation is declared divergent.
+    """
+    return 2000 + 400 * max(1, len(network.sessions))
+
+
 def simulate(
     network: Network,
     prefixes: Iterable[Prefix] | None = None,
     config: DecisionConfig = DecisionConfig(),
     max_messages: int | None = None,
+    on_divergence: str = "raise",
 ) -> EngineStats:
-    """Simulate every prefix (or the given subset) to convergence."""
+    """Simulate every prefix (or the given subset) to convergence.
+
+    ``on_divergence`` controls what happens when one prefix exceeds its
+    message budget: ``"raise"`` re-raises the
+    :class:`~repro.errors.ConvergenceError` (discarding nothing the caller
+    already holds, but ending the run), while ``"quarantine"`` clears the
+    prefix's partial routing state, records it in the returned stats'
+    ``diverged`` list, and keeps simulating the remaining prefixes.
+    """
+    if on_divergence not in ("raise", "quarantine"):
+        raise ValueError(f"on_divergence must be 'raise' or 'quarantine', got {on_divergence!r}")
     stats = EngineStats()
     targets = list(prefixes) if prefixes is not None else network.prefixes()
     for prefix in targets:
-        stats.merge(simulate_prefix(network, prefix, config, max_messages))
+        try:
+            stats.merge(simulate_prefix(network, prefix, config, max_messages))
+        except ConvergenceError as error:
+            if on_divergence == "raise":
+                raise
+            network.clear_prefix(prefix)
+            stats.prefixes += 1
+            stats.messages += error.messages_used
+            stats.diverged.append(prefix)
     return stats
 
 
@@ -77,7 +108,7 @@ def simulate_prefix(
     ``prefix`` hold the converged state.
     """
     if max_messages is None:
-        max_messages = 2000 + 400 * max(1, len(network.sessions))
+        max_messages = default_message_budget(network)
     network.clear_prefix(prefix)
     stats = EngineStats(prefixes=1)
     queue: deque[tuple[Session, Route | None]] = deque()
@@ -91,10 +122,7 @@ def simulate_prefix(
     while queue:
         stats.messages += 1
         if stats.messages > max_messages:
-            raise SimulationError(
-                f"BGP did not converge for {prefix} after {max_messages} messages; "
-                "the configured policies likely form a dispute wheel"
-            )
+            raise ConvergenceError(prefix, stats.messages, max_messages)
         session, announced = queue.popleft()
         receiver = session.dst
         accepted = _import_route(session, announced)

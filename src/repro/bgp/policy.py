@@ -181,6 +181,21 @@ class RouteMap:
         else:
             self._generic.append(entry)
 
+    def prepend(self, clause: Clause) -> None:
+        """Add ``clause`` before all existing clauses.
+
+        With first-match-wins semantics this makes the clause shadow any
+        later clause matching the same routes (the fault-injection harness
+        relies on this to override relationship policies).
+        """
+        position = (self._clauses[0][0] - 1) if self._clauses else 0
+        entry = (position, clause)
+        self._clauses.insert(0, entry)
+        if clause.match.prefix is not None:
+            self._by_prefix.setdefault(clause.match.prefix, []).insert(0, entry)
+        else:
+            self._generic.insert(0, entry)
+
     def remove(self, clause: Clause) -> bool:
         """Remove the first occurrence of ``clause`` (by identity); True if found."""
         for entry in self._clauses:

@@ -104,7 +104,10 @@ def _export_route_map(
         writer.line(f'  match "{_match_expr(clause)}"')
         writer.line(f"  action {_action_expr(clause)}")
         if clause.tag:
-            writer.line(f"  # tag {clause.tag}")
+            # First-class so it round-trips: the refiner identifies its own
+            # clauses by tag when clearing/deduplicating policies, so a
+            # reloaded (e.g. checkpointed) model must keep them.
+            writer.line(f'  tag "{clause.tag}"')
         writer.line("  exit")
 
 

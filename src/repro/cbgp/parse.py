@@ -40,6 +40,8 @@ def parse_script(source: TextIO | Iterable[str]) -> Network:
                 pending_rule.match_text = line[len("match ") :].strip().strip('"')
             elif line.startswith("action "):
                 pending_rule.action_text = line[len("action ") :].strip().strip('"')
+            elif line.startswith("tag "):
+                pending_rule.tag_text = line[len("tag ") :].strip().strip('"')
             else:
                 raise ParseError(f"unexpected line inside add-rule: {line!r}")
             continue
@@ -115,6 +117,7 @@ class _PendingRule:
         self.direction = direction
         self.match_text = "any"
         self.action_text = "accept"
+        self.tag_text = ""
 
     def install(self) -> None:
         """Attach the parsed clause to the right session route-map."""
@@ -135,7 +138,11 @@ class _PendingRule:
                 session = self.network.add_session(owner, peer)
             route_map = session.ensure_export_map()
         route_map.append(
-            Clause(match=_parse_match(self.match_text), **_parse_action(self.action_text))
+            Clause(
+                match=_parse_match(self.match_text),
+                tag=self.tag_text,
+                **_parse_action(self.action_text),
+            )
         )
 
 

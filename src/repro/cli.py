@@ -12,6 +12,12 @@ Subcommands mirror the paper's workflow:
   C-BGP-style config.
 * ``repro whatif`` — load a saved model and predict the impact of
   removing an AS adjacency.
+* ``repro chaos`` — run the pipeline over a deterministically
+  fault-injected workload (dispute wheels, corrupted dump lines, session
+  flaps, budget exhaustion) and emit a JSON run-health report.
+
+Exit codes follow :mod:`repro.resilience.health`: 0 ok, 1 refinement
+stalled, 2 usage, 3 diverged prefixes quarantined, 4 unusable data.
 """
 
 from __future__ import annotations
@@ -33,6 +39,10 @@ from repro.core.whatif import depeer
 from repro.data.dumps import read_table_dump, write_table_dump
 from repro.data.observation import collect_dataset, select_observation_points
 from repro.data.synthesis import SyntheticConfig, synthesize_internet
+from repro.errors import CheckpointError, DatasetError
+from repro.resilience.faults import FaultConfig
+from repro.resilience.health import EXIT_DATA, RunHealth
+from repro.resilience.retry import RetryPolicy
 from repro.topology.classify import classify_ases
 from repro.topology.clique import infer_level1_clique
 from repro.topology.diversity import route_diversity_report
@@ -82,7 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
     refine.add_argument("--split-seed", type=int, default=0)
     refine.add_argument("--max-iterations", type=int, default=60)
     refine.add_argument("--out", help="write the refined model config here")
+    refine.add_argument("--health-report",
+                        help="write a JSON RunHealth report to this path")
+    refine.add_argument("--checkpoint",
+                        help="snapshot the run here; resumes if the file exists")
+    refine.add_argument("--checkpoint-every", type=int, default=5,
+                        help="iterations between checkpoint snapshots")
+    refine.add_argument("--retry-attempts", type=int, default=0,
+                        help="retry diverging prefixes with escalating budgets "
+                             "this many times, then quarantine (0 = raise)")
     refine.set_defaults(handler=cmd_refine)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run the pipeline over a fault-injected workload"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--scale", type=float, default=0.25,
+                       help="population scale of the synthetic Internet")
+    chaos.add_argument("--points", type=int, default=12,
+                       help="number of observation ASes")
+    chaos.add_argument("--dispute-wheels", type=int, default=2,
+                       help="prefixes sabotaged with local-pref dispute wheels")
+    chaos.add_argument("--corrupt-fraction", type=float, default=0.1,
+                       help="fraction of dump lines garbled")
+    chaos.add_argument("--truncate-fraction", type=float, default=0.05,
+                       help="fraction of dump lines truncated")
+    chaos.add_argument("--flap-sessions", type=int, default=2,
+                       help="eBGP peerings torn down before simulation")
+    chaos.add_argument("--message-budget", type=int, default=None,
+                       help="sabotaged initial per-prefix message budget")
+    chaos.add_argument("--retry-attempts", type=int, default=3)
+    chaos.add_argument("--refine-iterations", type=int, default=10)
+    chaos.add_argument("--health-report",
+                       help="write the JSON RunHealth report to this path "
+                            "(default: stdout)")
+    chaos.set_defaults(handler=cmd_chaos)
 
     whatif = subparsers.add_parser("whatif", help="predict a link removal")
     whatif.add_argument("model", help="model config written by 'repro refine --out'")
@@ -134,9 +178,13 @@ def _load_pruned(dump_path: str, seeds: list[int]):
 
 def cmd_analyze(args) -> int:
     """Handle ``repro analyze``."""
-    parsed, dataset, graph, level1, classification, pruned = _load_pruned(
-        args.dump, args.seeds
-    )
+    try:
+        parsed, dataset, graph, level1, classification, pruned = _load_pruned(
+            args.dump, args.seeds
+        )
+    except DatasetError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
     print(f"parsed lines:      {parsed.lines} "
           f"(skipped: {parsed.skipped_as_set} AS_SET, "
           f"{parsed.skipped_malformed} malformed)")
@@ -160,35 +208,116 @@ def cmd_refine(args) -> int:
     """Handle ``repro refine``."""
     from repro.core.refine import RefinementConfig
 
-    _, _, _, _, _, pruned = _load_pruned(args.dump, [])
+    health = RunHealth()
+    with health.phase("parse"):
+        try:
+            parsed, _, _, _, _, pruned = _load_pruned(args.dump, [])
+        except DatasetError as error:
+            print(f"error: {error}", file=sys.stderr)
+            health.record_error(error)
+            if args.health_report:
+                health.write(args.health_report)
+            return EXIT_DATA
+    health.record_parse(parsed)
     training, validation = split_by_observation_points(
         pruned.dataset, args.train_fraction, seed=args.split_seed
     )
+    retry = RetryPolicy(max_attempts=args.retry_attempts) \
+        if args.retry_attempts > 0 else None
     model = build_initial_model(pruned.dataset, pruned.graph)
     refiner = Refiner(
-        model, training, RefinementConfig(max_iterations=args.max_iterations)
+        model,
+        training,
+        RefinementConfig(
+            max_iterations=args.max_iterations,
+            retry=retry,
+            checkpoint_every=args.checkpoint_every,
+        ),
     )
     started = time.perf_counter()
-    result = refiner.run()
+    with health.phase("refine"):
+        try:
+            result = refiner.run(checkpoint=args.checkpoint)
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            health.record_error(error)
+            if args.health_report:
+                health.write(args.health_report)
+            return EXIT_DATA
+    model = result.model  # a resumed run swaps in the checkpointed model
     print(
         f"refinement: {result.iteration_count} iterations, "
         f"converged={result.converged}, {time.perf_counter() - started:.1f}s"
     )
     print(f"model: {model}")
-    for label, dataset in (("training", training), ("validation", validation)):
-        report = evaluate_model(model, dataset)
-        print(
-            f"{label:<11} cases={report.total} "
-            f"rib-out={report.rib_out_rate:.1%} "
-            f"potential={report.rate(MatchKind.POTENTIAL_RIB_OUT):.1%} "
-            f"tie-break+={report.tie_break_or_better_rate:.1%} "
-            f"rib-in+={report.rib_in_or_better_rate:.1%}"
+    unmatched = refiner.unmatched_paths() if not result.converged else []
+    health.record_refinement(result, unmatched)
+    if refiner.outcomes:
+        from repro.resilience.retry import ResilienceStats
+
+        health.record_simulation(
+            ResilienceStats(outcomes=refiner.outcomes)
         )
+        quarantined = sorted(set(health.diverged_prefixes))
+        if quarantined:
+            print(f"quarantined diverged prefixes: {' '.join(quarantined)}",
+                  file=sys.stderr)
+    with health.phase("evaluate"):
+        for label, dataset in (("training", training), ("validation", validation)):
+            report = evaluate_model(model, dataset)
+            print(
+                f"{label:<11} cases={report.total} "
+                f"rib-out={report.rib_out_rate:.1%} "
+                f"potential={report.rate(MatchKind.POTENTIAL_RIB_OUT):.1%} "
+                f"tie-break+={report.tie_break_or_better_rate:.1%} "
+                f"rib-in+={report.rib_in_or_better_rate:.1%}"
+            )
     if args.out:
         with open(args.out, "w", encoding="ascii") as handle:
             export_network(model.network, handle)
         print(f"wrote model config to {args.out}")
-    return 0 if result.converged else 1
+    if args.health_report:
+        health.write(args.health_report)
+        print(f"wrote health report to {args.health_report}", file=sys.stderr)
+    return health.exit_code
+
+
+def cmd_chaos(args) -> int:
+    """Handle ``repro chaos``."""
+    from repro.experiments.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        scale=args.scale,
+        points=args.points,
+        refine_iterations=args.refine_iterations,
+        faults=FaultConfig(
+            seed=args.seed,
+            dispute_wheels=args.dispute_wheels,
+            corrupt_line_fraction=args.corrupt_fraction,
+            truncate_line_fraction=args.truncate_fraction,
+            session_flaps=args.flap_sessions,
+            message_budget=args.message_budget,
+        ),
+        retry=RetryPolicy(max_attempts=max(1, args.retry_attempts)),
+    )
+    health = run_chaos(config)
+    if args.health_report:
+        health.write(args.health_report)
+        print(f"wrote health report to {args.health_report}", file=sys.stderr)
+    else:
+        print(health.to_json())
+    summary = health.to_dict()
+    simulation = summary.get("simulation") or {}
+    print(
+        f"chaos: {simulation.get('prefixes', 0)} prefixes, "
+        f"{simulation.get('retries', 0)} retries, "
+        f"{len(simulation.get('transient', []))} transient, "
+        f"{len(simulation.get('diverged', []))} diverged, "
+        f"exit code {health.exit_code}",
+        file=sys.stderr,
+    )
+    return health.exit_code
 
 
 def cmd_whatif(args) -> int:

@@ -15,8 +15,13 @@ from repro.bgp.decision import DecisionConfig
 from repro.bgp.engine import EngineStats, simulate, simulate_prefix
 from repro.bgp.network import Network
 from repro.bgp.router import Router
-from repro.errors import SimulationError, TopologyError
+from repro.errors import TopologyError
 from repro.net.prefix import Prefix, prefix_for_asn
+from repro.resilience.retry import (
+    ResilienceStats,
+    RetryPolicy,
+    simulate_network_with_retry,
+)
 from repro.topology.graph import ASGraph
 
 MODEL_DECISION_CONFIG = DecisionConfig(med_always_compare=True, use_igp_cost=False)
@@ -109,22 +114,25 @@ class ASRoutingModel:
         With ``tolerate_divergence`` a prefix whose simulation exceeds the
         message budget (a policy dispute wheel, possible for inferred
         relationship policies) has its state cleared and is recorded in
-        the returned stats' ``diverged`` list instead of raising.
+        the returned stats' ``diverged`` list instead of raising — the
+        engine's ``on_divergence="quarantine"`` mode.
         """
-        if not tolerate_divergence:
-            return simulate(self.network, config=MODEL_DECISION_CONFIG,
-                            max_messages=max_messages)
-        stats = EngineStats()
-        for prefix in self.network.prefixes():
-            try:
-                stats.merge(
-                    simulate_prefix(self.network, prefix, MODEL_DECISION_CONFIG,
-                                    max_messages)
-                )
-            except SimulationError:
-                self.network.clear_prefix(prefix)
-                stats.diverged.append(prefix)
-        return stats
+        on_divergence = "quarantine" if tolerate_divergence else "raise"
+        return simulate(self.network, config=MODEL_DECISION_CONFIG,
+                        max_messages=max_messages, on_divergence=on_divergence)
+
+    def simulate_all_resilient(
+        self, policy: RetryPolicy = RetryPolicy()
+    ) -> ResilienceStats:
+        """Simulate every canonical prefix with retry + quarantine.
+
+        Non-convergence is retried with escalating message budgets under
+        ``policy``; prefixes that still diverge are quarantined (state
+        cleared, listed in the outcomes) rather than aborting the run.
+        """
+        return simulate_network_with_retry(
+            self.network, config=MODEL_DECISION_CONFIG, policy=policy
+        )
 
     def simulate_origin(self, origin_asn: int,
                         max_messages: int | None = None) -> EngineStats:

@@ -26,13 +26,24 @@ Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.bgp.policy import Action, Clause, Match
 from repro.bgp.router import Router
-from repro.core.model import ASRoutingModel
-from repro.errors import RefinementError
+from repro.core.model import MODEL_DECISION_CONFIG, ASRoutingModel
+from repro.errors import CheckpointError, RefinementError
 from repro.net.prefix import Prefix
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    training_fingerprint,
+)
+from repro.resilience.retry import (
+    PrefixOutcome,
+    RetryPolicy,
+    simulate_prefix_with_retry,
+)
 from repro.topology.dataset import PathDataset
 
 FILTER_TAG = "refine-filter"
@@ -50,6 +61,12 @@ class RefinementConfig:
     only); without ``allow_policies`` only quasi-router duplication is
     used; without ``filter_deletion`` stale egress filters are never
     removed.
+
+    ``retry`` routes every (re-)simulation through the escalating-budget
+    retry loop of :mod:`repro.resilience.retry`, quarantining prefixes
+    that still diverge instead of aborting the run.  ``checkpoint_every``
+    sets how many iterations pass between snapshots when
+    :meth:`Refiner.run` is given a checkpoint path.
     """
 
     max_iterations: int = 60
@@ -59,6 +76,8 @@ class RefinementConfig:
     filter_deletion: bool = True
     install_filters: bool = True
     install_ranking: bool = True
+    retry: RetryPolicy | None = None
+    checkpoint_every: int = 5
 
 
 @dataclass
@@ -116,6 +135,7 @@ class Refiner:
     ):
         self.model = model
         self.config = config
+        self.outcomes: list[PrefixOutcome] = []
         self.targets: dict[int, list[tuple[int, ...]]] = {}
         for origin, paths in training.unique_paths_by_origin().items():
             if origin not in model.prefix_by_origin:
@@ -126,32 +146,117 @@ class Refiner:
             # lowest-id quasi-router and longer alternatives fork off it.
             self.targets[origin] = sorted(paths, key=lambda p: (len(p), p))
 
-    def run(self, simulate_first: bool = True) -> RefinementResult:
+    def run(
+        self,
+        simulate_first: bool = True,
+        checkpoint: str | Path | None = None,
+    ) -> RefinementResult:
         """Iterate until every training path has a RIB-Out match.
 
         Stops early (``converged=False``) when ``max_iterations`` is
         exhausted or the match count has not improved for ``patience``
         iterations.
+
+        With ``checkpoint`` set, the model plus loop state is atomically
+        snapshotted to that path every ``config.checkpoint_every``
+        iterations (and when the loop stops).  If the file already exists
+        the run *resumes* from it: the checkpointed model replaces
+        ``self.model``, completed iterations are replayed into the result,
+        and — simulation being deterministic — the run lands on the same
+        final model an uninterrupted run would have produced.
         """
-        if simulate_first:
-            self.model.simulate_all()
-        result = RefinementResult(model=self.model, converged=False)
+        checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+        start_iteration = 0
         best_matched = -1
         stale_iterations = 0
-        for iteration in range(1, self.config.max_iterations + 1):
+        restored: list[IterationStats] = []
+        if checkpoint_path is not None and checkpoint_path.exists():
+            start_iteration, best_matched, stale_iterations, restored = (
+                self._restore_checkpoint(checkpoint_path)
+            )
+            simulate_first = True
+        if simulate_first:
+            self._simulate_all()
+        result = RefinementResult(model=self.model, converged=False)
+        result.iterations.extend(restored)
+        if restored and restored[-1].paths_matched == restored[-1].paths_total:
+            result.converged = True
+            return result
+        for iteration in range(start_iteration + 1, self.config.max_iterations + 1):
             stats = self.run_iteration(iteration)
             result.iterations.append(stats)
-            if stats.paths_matched == stats.paths_total:
-                result.converged = True
-                break
+            converged = stats.paths_matched == stats.paths_total
             if stats.paths_matched > best_matched:
                 best_matched = stats.paths_matched
                 stale_iterations = 0
             else:
                 stale_iterations += 1
+            stopping = (
+                converged
+                or not stats.changed
+                or stale_iterations >= self.config.patience
+                or iteration == self.config.max_iterations
+            )
+            if checkpoint_path is not None and (
+                stopping or iteration % self.config.checkpoint_every == 0
+            ):
+                save_checkpoint(
+                    checkpoint_path,
+                    self.model.network,
+                    iteration,
+                    best_matched,
+                    stale_iterations,
+                    [asdict(s) for s in result.iterations],
+                    fingerprint=training_fingerprint(self.targets),
+                )
+            if converged:
+                result.converged = True
+                break
             if not stats.changed or stale_iterations >= self.config.patience:
                 break
         return result
+
+    def _restore_checkpoint(
+        self, path: Path
+    ) -> tuple[int, int, int, list[IterationStats]]:
+        """Swap in a checkpointed model and return the saved loop state."""
+        saved = load_checkpoint(path)
+        model = saved.restore_model()
+        missing = [o for o in self.targets if o not in model.prefix_by_origin]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {path} lacks training origins {missing[:5]}; "
+                "it was written for a different dataset"
+            )
+        if saved.fingerprint and saved.fingerprint != training_fingerprint(
+            self.targets
+        ):
+            raise CheckpointError(
+                f"checkpoint {path} was written for a different training "
+                "dataset (fingerprint mismatch)"
+            )
+        self.model = model
+        iterations = [IterationStats(**fields) for fields in saved.iterations]
+        return saved.iteration, saved.best_matched, saved.stale_iterations, iterations
+
+    def _simulate_all(self) -> None:
+        """Simulate every prefix, honouring the configured retry policy."""
+        if self.config.retry is None:
+            self.model.simulate_all()
+        else:
+            stats = self.model.simulate_all_resilient(self.config.retry)
+            self.outcomes.extend(stats.outcomes)
+
+    def _simulate_origin(self, origin: int) -> None:
+        """(Re-)simulate one origin's prefix, honouring the retry policy."""
+        if self.config.retry is None:
+            self.model.simulate_origin(origin)
+            return
+        prefix = self.model.canonical_prefix(origin)
+        _, outcome = simulate_prefix_with_retry(
+            self.model.network, prefix, MODEL_DECISION_CONFIG, self.config.retry
+        )
+        self.outcomes.append(outcome)
 
     def run_incremental(self) -> RefinementResult:
         """Extend an already-refined model for this refiner's origins (§4.7).
@@ -165,7 +270,7 @@ class Refiner:
         tie against existing ones (they carry higher router ids).
         """
         for origin in sorted(self.targets):
-            self.model.simulate_origin(origin)
+            self._simulate_origin(origin)
         return self.run(simulate_first=False)
 
     def run_iteration(self, iteration: int = 0) -> IterationStats:
@@ -186,9 +291,48 @@ class Refiner:
             if origin_changed:
                 dirty.add(origin)
         for origin in sorted(dirty):
-            self.model.simulate_origin(origin)
+            self._simulate_origin(origin)
             stats.prefixes_resimulated += 1
         return stats
+
+    def unmatched_paths(self) -> list[tuple[int, tuple[int, ...]]]:
+        """The (origin, path) pairs still lacking a RIB-Out match.
+
+        A read-only grading pass over the current simulation state — the
+        stall diagnostic for health reports: these are the concrete
+        observed paths a non-converged run is stuck on.
+        """
+        unmatched: list[tuple[int, tuple[int, ...]]] = []
+        for origin in sorted(self.targets):
+            prefix = self.model.canonical_prefix(origin)
+            reserved: dict[int, tuple[int, ...]] = {}
+            for path in self.targets[origin]:
+                if not self._path_selected(prefix, path, reserved):
+                    unmatched.append((origin, path))
+        return unmatched
+
+    def _path_selected(
+        self,
+        prefix: Prefix,
+        path: tuple[int, ...],
+        reserved: dict[int, tuple[int, ...]],
+    ) -> bool:
+        """RIB-Out walk of :meth:`_process_path`, without applying fixes."""
+        for position in range(len(path) - 1, -1, -1):
+            asn = path[position]
+            target = path[position + 1 :]
+            available = [
+                router
+                for router in self.model.quasi_routers(asn)
+                if (best := router.best(prefix)) is not None
+                and best.as_path == target
+                and reserved.get(router.router_id, target) == target
+            ]
+            if not available:
+                return False
+            chosen = min(available, key=lambda router: router.router_id)
+            reserved[chosen.router_id] = target
+        return True
 
     # ------------------------------------------------------------------
     # Per-path processing

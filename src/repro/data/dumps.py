@@ -12,12 +12,11 @@ mirroring the paper's preprocessing.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, TextIO
 
-from repro.errors import ParseError
+from repro.errors import DatasetError, ParseError
 from repro.net.aspath import ASPath
 from repro.net.ip import ip_to_string
 from repro.net.prefix import Prefix
@@ -94,18 +93,23 @@ class DumpReadResult:
 def read_table_dump(
     source: str | Path | TextIO | Iterable[str],
     strict: bool = False,
+    max_malformed_fraction: float | None = 0.5,
 ) -> DumpReadResult:
     """Parse a bgpdump -m style dump into a :class:`PathDataset`.
 
     ``strict`` turns malformed lines into :class:`ParseError` instead of
     counting and skipping them.  The observation-point id is derived from
     (peer IP, peer AS), which is how feeds are identified in practice.
+
+    In lenient mode, a dump whose malformed fraction exceeds
+    ``max_malformed_fraction`` raises :class:`DatasetError` carrying the
+    skip counters: a mostly-garbage feed must not silently become a tiny
+    (or empty) dataset.  Pass ``None`` to disable the guard.  AS_SET
+    skips are expected preprocessing and do not count against it.
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="ascii") as handle:
-            return read_table_dump(handle, strict)
-    if isinstance(source, str):  # pragma: no cover - guarded above
-        source = io.StringIO(source)
+            return read_table_dump(handle, strict, max_malformed_fraction)
 
     result = DumpReadResult(dataset=PathDataset())
     for raw_line in source:
@@ -141,5 +145,17 @@ def read_table_dump(
             continue
         result.dataset.add(
             ObservedRoute(f"{peer_ip}|{observer_asn}", observer_asn, prefix, path)
+        )
+    if (
+        not strict
+        and max_malformed_fraction is not None
+        and result.lines
+        and result.skipped_malformed / result.lines > max_malformed_fraction
+    ):
+        raise DatasetError(
+            f"dump is mostly garbage: {result.skipped_malformed} of "
+            f"{result.lines} lines malformed "
+            f"(+{result.skipped_as_set} AS_SET skips) exceeds the "
+            f"{max_malformed_fraction:.0%} threshold"
         )
     return result

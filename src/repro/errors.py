@@ -24,6 +24,32 @@ class SimulationError(ReproError):
     """Raised when a BGP simulation cannot proceed (non-convergence, bad state)."""
 
 
+class ConvergenceError(SimulationError):
+    """A per-prefix simulation exhausted its message budget.
+
+    Carries structured context so retry logic and health reports can act
+    on it without parsing the message string.
+
+    Attributes:
+        prefix: the prefix whose simulation did not converge.
+        messages_used: messages processed before giving up.
+        budget: the ``max_messages`` budget that was exceeded.
+    """
+
+    def __init__(self, prefix, messages_used: int, budget: int):
+        super().__init__(
+            f"BGP did not converge for {prefix} after {messages_used} messages "
+            f"(budget {budget}); the configured policies likely form a dispute wheel"
+        )
+        self.prefix = prefix
+        self.messages_used = messages_used
+        self.budget = budget
+
+
+class CheckpointError(ReproError):
+    """Raised when a refinement checkpoint is missing, corrupt, or incompatible."""
+
+
 class RefinementError(ReproError):
     """Raised when the iterative refinement heuristic cannot make progress."""
 

@@ -17,6 +17,7 @@ from repro.experiments.workloads import (
 )
 from repro.experiments.report import ExperimentResult, format_table
 from repro.experiments import (
+    chaos,
     deflection,
     fig2,
     fig3,
@@ -49,5 +50,6 @@ __all__ = [
     "table4",
     "table5",
     "ablations",
+    "chaos",
     "scaling",
 ]

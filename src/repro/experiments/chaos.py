@@ -1,0 +1,120 @@
+"""The chaos pipeline: an end-to-end run over a fault-injected workload.
+
+Exercises every resilience mechanism at once, the way a production run
+would meet them: a synthetic Internet is sabotaged with dispute wheels
+and session flaps, simulated under the escalating-budget retry loop
+(quarantining what still diverges), dumped, the dump corrupted, parsed
+leniently, and a model refined from whatever survived.  The outcome is a
+:class:`~repro.resilience.health.RunHealth` report naming the quarantined
+prefixes, the parse skips, and the paths a stalled refinement is stuck
+on.  ``repro chaos`` is a thin CLI wrapper around :func:`run_chaos`.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field, replace
+
+from repro.core.build import build_initial_model
+from repro.core.refine import RefinementConfig, Refiner
+from repro.data.dumps import read_table_dump, write_table_dump
+from repro.data.observation import collect_dataset, select_observation_points
+from repro.data.synthesis import SyntheticConfig, synthesize_internet
+from repro.errors import DatasetError, RefinementError
+from repro.resilience.faults import FaultConfig, apply_faults, corrupt_dump_lines
+from repro.resilience.health import RunHealth
+from repro.resilience.retry import RetryPolicy, simulate_network_with_retry
+from repro.topology.classify import classify_ases
+from repro.topology.clique import infer_level1_clique
+from repro.topology.graph import ASGraph
+from repro.topology.prune import prune_single_homed_stubs
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A fully-determined chaos run."""
+
+    seed: int = 0
+    scale: float = 0.25
+    points: int = 12
+    refine_iterations: int = 10
+    faults: FaultConfig = field(
+        default_factory=lambda: FaultConfig(
+            dispute_wheels=2,
+            corrupt_line_fraction=0.1,
+            truncate_line_fraction=0.05,
+            session_flaps=2,
+        )
+    )
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=3, deadline_seconds=20.0)
+    )
+
+
+def run_chaos(config: ChaosConfig = ChaosConfig()) -> RunHealth:
+    """Run the fault-injected pipeline end-to-end; never raises on faults.
+
+    Injected failures surface in the returned health report (and its
+    ``exit_code``), not as exceptions — that is the point.
+    """
+    health = RunHealth()
+
+    with health.phase("synthesize"):
+        internet = synthesize_internet(
+            SyntheticConfig(seed=config.seed).scaled(config.scale)
+        )
+
+    with health.phase("inject-faults"):
+        report = apply_faults(internet.network, config.faults)
+
+    retry = config.retry
+    if config.faults.message_budget is not None:
+        # Budget-exhaustion fault: start every prefix from the sabotaged
+        # budget so healthy prefixes must recover through escalation.
+        retry = replace(retry, initial_budget=config.faults.message_budget)
+    with health.phase("simulate"):
+        stats = simulate_network_with_retry(internet.network, policy=retry)
+    health.record_simulation(stats)
+
+    with health.phase("dump"):
+        points = select_observation_points(internet, config.points, seed=config.seed)
+        dataset = collect_dataset(internet.network, points)
+        buffer = io.StringIO()
+        write_table_dump(dataset, buffer)
+        lines = corrupt_dump_lines(
+            buffer.getvalue().splitlines(), config.faults, report
+        )
+    health.faults = report.to_dict()
+
+    with health.phase("parse"):
+        try:
+            parsed = read_table_dump(lines)
+        except DatasetError as error:
+            health.record_error(error)
+            return health
+    health.record_parse(parsed)
+
+    with health.phase("refine"):
+        try:
+            observed = parsed.dataset.cleaned()
+            graph = ASGraph.from_dataset(observed)
+            if not graph.ases():
+                raise DatasetError("no usable routes survived the corruption")
+            seeds = [max(graph.ases(), key=graph.degree)]
+            level1 = infer_level1_clique(graph, seeds)
+            classification = classify_ases(observed, graph, level1)
+            pruned = prune_single_homed_stubs(observed, graph, classification)
+            model = build_initial_model(pruned.dataset, pruned.graph)
+            refiner = Refiner(
+                model,
+                pruned.dataset,
+                RefinementConfig(
+                    max_iterations=config.refine_iterations, retry=retry
+                ),
+            )
+            result = refiner.run()
+        except (DatasetError, RefinementError) as error:
+            health.record_error(error)
+            return health
+    health.record_refinement(result, refiner.unmatched_paths())
+    return health

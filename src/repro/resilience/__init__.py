@@ -1,0 +1,75 @@
+"""Resilient simulation runtime: faults, retries, checkpoints, health.
+
+The subsystem that keeps long refine/re-simulate runs (the Figure 6 loop
+over C-BGP-scale simulations) alive in the presence of policy-induced
+divergence, noisy dumps, and crashes:
+
+* :mod:`repro.resilience.faults` — deterministic fault injection
+  (dispute wheels, dump corruption, session flaps, budget exhaustion);
+* :mod:`repro.resilience.retry` — escalating-budget retry that classifies
+  prefixes as transient vs. diverged and quarantines the latter;
+* :mod:`repro.resilience.checkpoint` — atomic checkpoint/resume for the
+  refiner, reusing the C-BGP config persistence;
+* :mod:`repro.resilience.health` — the structured :class:`RunHealth`
+  report and the CLI exit-code vocabulary.
+"""
+
+from repro.resilience.faults import (
+    FaultConfig,
+    FaultReport,
+    apply_faults,
+    corrupt_dump_lines,
+    find_wheel_candidates,
+    inject_dispute_wheel,
+)
+from repro.resilience.retry import (
+    CONVERGED,
+    DIVERGED,
+    TRANSIENT,
+    PrefixOutcome,
+    ResilienceStats,
+    RetryPolicy,
+    simulate_network_with_retry,
+    simulate_prefix_with_retry,
+)
+from repro.resilience.health import (
+    EXIT_DATA,
+    EXIT_DIVERGED,
+    EXIT_OK,
+    EXIT_UNCONVERGED,
+    EXIT_USAGE,
+    RunHealth,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    RefinerCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CONVERGED",
+    "DIVERGED",
+    "EXIT_DATA",
+    "EXIT_DIVERGED",
+    "EXIT_OK",
+    "EXIT_UNCONVERGED",
+    "EXIT_USAGE",
+    "FaultConfig",
+    "FaultReport",
+    "PrefixOutcome",
+    "RefinerCheckpoint",
+    "ResilienceStats",
+    "RetryPolicy",
+    "RunHealth",
+    "TRANSIENT",
+    "apply_faults",
+    "corrupt_dump_lines",
+    "find_wheel_candidates",
+    "inject_dispute_wheel",
+    "load_checkpoint",
+    "save_checkpoint",
+    "simulate_network_with_retry",
+    "simulate_prefix_with_retry",
+]

@@ -1,0 +1,128 @@
+"""Atomic checkpoint/resume for long refinement runs.
+
+A checkpoint is one JSON document holding the refiner's loop state
+(iteration counter, best match count, staleness counter, per-iteration
+stats) plus the full model network serialised through the existing
+C-BGP-style config persistence (:mod:`repro.cbgp`) — installed per-prefix
+policies and duplicated quasi-routers round-trip through it already.
+Routing state (RIBs) is deliberately *not* stored: simulation is
+deterministic, so resume re-simulates and lands in the same state.
+
+Writes go to a temporary sibling file followed by ``os.replace``, so a
+crash mid-write can never leave a truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cbgp.export import export_network
+from repro.cbgp.parse import parse_script
+from repro.errors import CheckpointError, ParseError
+
+CHECKPOINT_FORMAT = "repro/refiner-checkpoint/v1"
+
+
+def training_fingerprint(targets: dict[int, list[tuple[int, ...]]]) -> str:
+    """A stable digest of the refiner's training targets.
+
+    Stored in the checkpoint and compared on resume, so a checkpoint
+    written against one training set cannot silently steer a run over a
+    different one (same-origin datasets pass the origin check but would
+    converge to the wrong model).
+    """
+    digest = hashlib.sha256()
+    for origin in sorted(targets):
+        digest.update(str(origin).encode("ascii"))
+        for path in targets[origin]:
+            digest.update(("|" + " ".join(map(str, path))).encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass
+class RefinerCheckpoint:
+    """The persisted state of an in-progress refinement run."""
+
+    network_config: str
+    network_name: str = "parsed"
+    fingerprint: str = ""
+    iteration: int = 0
+    best_matched: int = -1
+    stale_iterations: int = 0
+    iterations: list[dict] = field(default_factory=list)
+
+    def restore_model(self):
+        """Rebuild the checkpointed :class:`~repro.core.model.ASRoutingModel`."""
+        # Imported here, not at module level: core.model imports the
+        # resilience package for its retry API, so a top-level import
+        # would be circular.
+        from repro.core.model import ASRoutingModel
+
+        try:
+            network = parse_script(io.StringIO(self.network_config))
+        except ParseError as error:
+            raise CheckpointError(f"checkpointed network is corrupt: {error}") from error
+        network.name = self.network_name
+        return ASRoutingModel.from_network(network)
+
+
+def save_checkpoint(
+    path: str | Path,
+    network,
+    iteration: int,
+    best_matched: int,
+    stale_iterations: int,
+    iterations: list[dict],
+    fingerprint: str = "",
+) -> None:
+    """Atomically write a checkpoint for ``network`` + refiner loop state."""
+    path = Path(path)
+    buffer = io.StringIO()
+    export_network(network, buffer)
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "network_name": network.name,
+        "fingerprint": fingerprint,
+        "iteration": iteration,
+        "best_matched": best_matched,
+        "stale_iterations": stale_iterations,
+        "iterations": iterations,
+        "network_config": buffer.getvalue(),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document), encoding="ascii")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> RefinerCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="ascii"))
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"checkpoint {path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported format "
+            f"{document.get('format') if isinstance(document, dict) else type(document)}"
+        )
+    try:
+        return RefinerCheckpoint(
+            network_config=document["network_config"],
+            network_name=str(document.get("network_name", "parsed")),
+            fingerprint=str(document.get("fingerprint", "")),
+            iteration=int(document["iteration"]),
+            best_matched=int(document["best_matched"]),
+            stale_iterations=int(document["stale_iterations"]),
+            iterations=list(document["iterations"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is missing fields: {error}") from error

@@ -1,0 +1,139 @@
+"""Structured run-health reporting and CLI exit codes.
+
+A :class:`RunHealth` object accumulates, across a pipeline run: wall-clock
+per phase, dump parse-skip counters, simulation retry/quarantine outcomes,
+refinement stall diagnostics (naming the unmatched origins/paths), the
+injected fault workload (for chaos runs) and any recoverable errors.  It
+serialises to JSON for ``--health-report`` and maps to a distinct process
+exit code so orchestration can tell failure classes apart without parsing
+logs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+EXIT_OK = 0
+"""Everything converged and parsed."""
+
+EXIT_UNCONVERGED = 1
+"""Refinement stopped before matching every training path."""
+
+EXIT_USAGE = 2
+"""Bad command line (argparse's convention)."""
+
+EXIT_DIVERGED = 3
+"""One or more prefixes were quarantined as diverged."""
+
+EXIT_DATA = 4
+"""The input data was unusable (corruption above threshold, empty dataset)."""
+
+UNMATCHED_LIMIT = 25
+"""At most this many unmatched (origin, path) pairs are named in the report."""
+
+
+@dataclass
+class RunHealth:
+    """Everything a caller needs to judge how a run went."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+    faults: dict | None = None
+    parse: dict | None = None
+    simulation: dict | None = None
+    refinement: dict | None = None
+    errors: list[str] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a pipeline phase: ``with health.phase("simulate"): ...``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def record_error(self, error: BaseException | str) -> None:
+        """Note a recoverable error (shows up in the report and exit code)."""
+        self.errors.append(str(error))
+
+    def record_parse(self, parsed) -> None:
+        """Fold a :class:`~repro.data.dumps.DumpReadResult`'s counters in."""
+        self.parse = {
+            "lines": parsed.lines,
+            "skipped_as_set": parsed.skipped_as_set,
+            "skipped_malformed": parsed.skipped_malformed,
+        }
+
+    def record_simulation(self, stats) -> None:
+        """Fold a :class:`~repro.resilience.retry.ResilienceStats` in."""
+        self.simulation = stats.to_dict()
+
+    def record_refinement(
+        self, result, unmatched: list[tuple[int, tuple[int, ...]]] | None = None
+    ) -> None:
+        """Fold a refinement result plus stall diagnostics in.
+
+        ``unmatched`` names the (origin, observed AS-path) pairs the final
+        model still fails to select — the concrete paths a stalled run is
+        stuck on.
+        """
+        self.refinement = {
+            "iterations": result.iteration_count,
+            "converged": result.converged,
+            "stalled": not result.converged,
+            "final_match_rate": round(result.final_match_rate, 6),
+        }
+        if unmatched is not None:
+            self.refinement["unmatched_total"] = len(unmatched)
+            self.refinement["unmatched"] = [
+                {"origin": origin, "path": list(path)}
+                for origin, path in unmatched[:UNMATCHED_LIMIT]
+            ]
+
+    @property
+    def diverged_prefixes(self) -> list[str]:
+        """Quarantined prefixes, if a simulation phase was recorded."""
+        if self.simulation is None:
+            return []
+        return list(self.simulation.get("diverged", []))
+
+    @property
+    def exit_code(self) -> int:
+        """The process exit code this run's health maps to.
+
+        Precedence: unusable data > quarantined divergence > refinement
+        stall > clean.
+        """
+        if self.errors:
+            return EXIT_DATA
+        if self.diverged_prefixes:
+            return EXIT_DIVERGED
+        if self.refinement is not None and not self.refinement["converged"]:
+            return EXIT_UNCONVERGED
+        return EXIT_OK
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable report."""
+        return {
+            "phases_seconds": {k: round(v, 6) for k, v in self.phases.items()},
+            "faults": self.faults,
+            "parse": self.parse,
+            "simulation": self.simulation,
+            "refinement": self.refinement,
+            "errors": list(self.errors),
+            "exit_code": self.exit_code,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | Path) -> None:
+        """Write the JSON report to ``path``."""
+        Path(path).write_text(self.to_json() + "\n", encoding="ascii")

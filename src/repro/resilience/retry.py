@@ -1,0 +1,176 @@
+"""Retry with escalating message budgets, and divergence quarantine.
+
+A :class:`~repro.errors.ConvergenceError` does not always mean a dispute
+wheel: large topologies can simply outgrow the default budget.  The retry
+loop distinguishes the two deterministically — re-simulate with a
+geometrically growing ``max_messages`` until the prefix converges
+(*transient*: the budget was too small) or the cap / attempt limit /
+per-prefix wall-clock deadline is hit (*diverged*: quarantined, its
+partial routing state cleared).
+
+Because each attempt is itself bounded by its budget, the deadline can
+never be overshot by more than one attempt: there is no way to hang.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bgp.decision import DecisionConfig
+from repro.bgp.engine import EngineStats, default_message_budget, simulate_prefix
+from repro.bgp.network import Network
+from repro.errors import ConvergenceError
+from repro.net.prefix import Prefix
+
+CONVERGED = "converged"
+TRANSIENT = "transient"
+DIVERGED = "diverged"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before quarantining a prefix.
+
+    ``initial_budget`` of ``None`` uses the engine's session-scaled
+    default; each retry multiplies the budget by ``budget_growth`` up to
+    ``budget_cap``.  ``deadline_seconds`` bounds the total wall clock
+    spent on one prefix across attempts (checked between attempts — each
+    attempt is already bounded by its message budget).
+    """
+
+    max_attempts: int = 3
+    budget_growth: float = 4.0
+    initial_budget: int | None = None
+    budget_cap: int = 2_000_000
+    deadline_seconds: float | None = 30.0
+
+    def first_budget(self, network: Network) -> int:
+        """The budget of attempt 1 for ``network``."""
+        budget = self.initial_budget
+        if budget is None:
+            budget = default_message_budget(network)
+        return min(budget, self.budget_cap)
+
+    def next_budget(self, budget: int) -> int:
+        """The escalated budget following ``budget``."""
+        return min(self.budget_cap, max(budget + 1, int(budget * self.budget_growth)))
+
+
+@dataclass
+class PrefixOutcome:
+    """Classification of one prefix's simulation under a retry policy."""
+
+    prefix: Prefix
+    status: str
+    attempts: int
+    messages: int
+    final_budget: int
+    elapsed: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {
+            "prefix": str(self.prefix),
+            "status": self.status,
+            "attempts": self.attempts,
+            "messages": self.messages,
+            "final_budget": self.final_budget,
+            "elapsed_seconds": round(self.elapsed, 6),
+        }
+
+
+@dataclass
+class ResilienceStats:
+    """Engine counters plus per-prefix retry outcomes."""
+
+    engine: EngineStats = field(default_factory=EngineStats)
+    outcomes: list[PrefixOutcome] = field(default_factory=list)
+
+    @property
+    def transient(self) -> list[Prefix]:
+        """Prefixes that converged only after a budget escalation."""
+        return [o.prefix for o in self.outcomes if o.status == TRANSIENT]
+
+    @property
+    def diverged(self) -> list[Prefix]:
+        """Prefixes quarantined after exhausting the retry policy."""
+        return [o.prefix for o in self.outcomes if o.status == DIVERGED]
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts across all prefixes."""
+        return sum(o.attempts - 1 for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary for the RunHealth report."""
+        return {
+            "prefixes": len(self.outcomes),
+            "messages": self.engine.messages,
+            "retries": self.retries,
+            "converged": sum(1 for o in self.outcomes if o.status == CONVERGED),
+            "transient": [str(p) for p in self.transient],
+            "diverged": [str(p) for p in self.diverged],
+            "outcomes": [o.to_dict() for o in self.outcomes if o.status != CONVERGED],
+        }
+
+
+def simulate_prefix_with_retry(
+    network: Network,
+    prefix: Prefix,
+    config: DecisionConfig = DecisionConfig(),
+    policy: RetryPolicy = RetryPolicy(),
+) -> tuple[EngineStats, PrefixOutcome]:
+    """Simulate ``prefix``, escalating the budget on non-convergence.
+
+    Returns the engine stats of the last attempt plus the outcome
+    classification.  On divergence the prefix's partial routing state is
+    cleared (quarantine) and the stats record it in ``diverged``.
+    """
+    started = time.monotonic()
+    budget = policy.first_budget(network)
+    spent = 0
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            stats = simulate_prefix(network, prefix, config, budget)
+        except ConvergenceError as error:
+            spent += error.messages_used
+            elapsed = time.monotonic() - started
+            out_of_attempts = attempt >= policy.max_attempts
+            out_of_budget = budget >= policy.budget_cap
+            out_of_time = (
+                policy.deadline_seconds is not None
+                and elapsed >= policy.deadline_seconds
+            )
+            if out_of_attempts or out_of_budget or out_of_time:
+                network.clear_prefix(prefix)
+                stats = EngineStats(prefixes=1, messages=spent)
+                stats.diverged.append(prefix)
+                return stats, PrefixOutcome(
+                    prefix, DIVERGED, attempt, spent, budget, elapsed
+                )
+            budget = policy.next_budget(budget)
+            continue
+        elapsed = time.monotonic() - started
+        status = CONVERGED if attempt == 1 else TRANSIENT
+        spent += stats.messages
+        return stats, PrefixOutcome(prefix, status, attempt, spent, budget, elapsed)
+
+
+def simulate_network_with_retry(
+    network: Network,
+    prefixes: Iterable[Prefix] | None = None,
+    config: DecisionConfig = DecisionConfig(),
+    policy: RetryPolicy = RetryPolicy(),
+) -> ResilienceStats:
+    """Simulate every prefix under ``policy``; divergence never aborts the run."""
+    result = ResilienceStats()
+    targets = list(prefixes) if prefixes is not None else network.prefixes()
+    for prefix in targets:
+        stats, outcome = simulate_prefix_with_retry(network, prefix, config, policy)
+        result.engine.merge(stats)
+        result.outcomes.append(outcome)
+    return result

@@ -153,7 +153,7 @@ class TestDumps:
 
     def test_path_must_start_at_peer_as(self):
         text = "TABLE_DUMP2|1|B|0.1.0.1|9|10.0.0.0/24|1 2|IGP|x|0|0||NAG|\n"
-        result = read_table_dump(io.StringIO(text))
+        result = read_table_dump(io.StringIO(text), max_malformed_fraction=None)
         assert result.skipped_malformed == 1
 
     def test_synthetic_dump_round_trip(self, mini_internet, mini_dataset):
@@ -165,3 +165,57 @@ class TestDumps:
             result.dataset.summary()["observation_points"]
             == mini_dataset.summary()["observation_points"]
         )
+
+
+class TestMalformedThreshold:
+    """Lenient parsing bails out when most of the file is garbage."""
+
+    GOOD = "TABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 2|IGP|0.1.0.1|0|0||NAG|\n"
+    BAD = "garbage|line\n"
+
+    def test_mostly_garbage_raises_dataset_error(self):
+        import pytest
+
+        from repro.errors import DatasetError
+
+        text = self.GOOD + self.BAD * 9
+        with pytest.raises(DatasetError) as excinfo:
+            read_table_dump(io.StringIO(text))
+        assert "9 of 10" in str(excinfo.value)
+
+    def test_damage_below_threshold_is_tolerated(self):
+        text = self.GOOD * 9 + self.BAD
+        result = read_table_dump(io.StringIO(text))
+        assert result.skipped_malformed == 1
+        assert len(result.dataset) == 9
+
+    def test_exactly_at_threshold_is_tolerated(self):
+        text = self.GOOD + self.BAD  # 1/2 malformed == default 0.5, not above
+        result = read_table_dump(io.StringIO(text))
+        assert result.skipped_malformed == 1
+
+    def test_none_disables_the_threshold(self):
+        result = read_table_dump(
+            io.StringIO(self.BAD * 10), max_malformed_fraction=None
+        )
+        assert result.skipped_malformed == 10
+        assert len(result.dataset) == 0
+
+    def test_custom_threshold(self):
+        import pytest
+
+        from repro.errors import DatasetError
+
+        text = self.GOOD * 8 + self.BAD * 2
+        with pytest.raises(DatasetError):
+            read_table_dump(io.StringIO(text), max_malformed_fraction=0.1)
+
+    def test_strict_mode_unaffected_by_threshold(self):
+        import pytest
+
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            read_table_dump(
+                io.StringIO(self.BAD), strict=True, max_malformed_fraction=None
+            )

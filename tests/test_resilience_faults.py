@@ -1,0 +1,155 @@
+"""Tests for the fault-injection harness."""
+
+import io
+import random
+
+import pytest
+
+from repro.bgp.engine import simulate, simulate_prefix
+from repro.bgp.network import Network
+from repro.data.dumps import read_table_dump, write_table_dump
+from repro.errors import ConvergenceError, TopologyError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.resilience.faults import (
+    FaultConfig,
+    FaultReport,
+    apply_faults,
+    corrupt_dump_lines,
+    find_wheel_candidates,
+    inject_dispute_wheel,
+)
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+
+def gadget_network(extra_spokes: int = 0):
+    """Hub originating a prefix, three wheel spokes, optional bystanders."""
+    net = Network("gadget")
+    spokes = {asn: net.add_router(asn) for asn in (1, 2, 3)}
+    hub = net.add_router(4)
+    prefix = Prefix("10.0.0.0/24")
+    net.originate(hub, prefix)
+    for router in spokes.values():
+        net.connect(router, hub)
+    for a, b in ((1, 2), (2, 3), (3, 1)):
+        net.connect(spokes[a], spokes[b])
+    for index in range(extra_spokes):
+        bystander = net.add_router(100 + index)
+        net.connect(bystander, hub)
+    return net, prefix
+
+
+class TestDisputeWheel:
+    def test_injected_wheel_diverges(self):
+        net, prefix = gadget_network()
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        with pytest.raises(ConvergenceError) as excinfo:
+            simulate_prefix(net, prefix, max_messages=5000)
+        assert excinfo.value.prefix == prefix
+        assert excinfo.value.budget == 5000
+        assert excinfo.value.messages_used > 5000
+
+    def test_without_injection_converges(self):
+        net, prefix = gadget_network()
+        stats = simulate_prefix(net, prefix)
+        assert stats.diverged == []
+
+    def test_quarantine_mode_returns_partial_stats(self):
+        net, prefix = gadget_network()
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        stats = simulate(net, max_messages=5000, on_divergence="quarantine")
+        assert stats.diverged == [prefix]
+        assert stats.prefixes == 1
+        # quarantine clears the partial routing state
+        for router in net.routers.values():
+            assert router.best(prefix) is None
+
+    def test_rejects_too_small_wheel(self):
+        net, prefix = gadget_network()
+        with pytest.raises(TopologyError):
+            inject_dispute_wheel(net, prefix, (1, 2))
+
+    def test_rejects_unconnected_wheel(self):
+        net, prefix = gadget_network()
+        with pytest.raises(TopologyError):
+            inject_dispute_wheel(net, prefix, (1, 2, 4 + 99))
+
+    def test_find_wheel_candidates(self):
+        net, _ = gadget_network()
+        triangles = find_wheel_candidates(net)
+        assert (1, 2, 3) in triangles
+
+    def test_apply_faults_deterministic(self):
+        reports = []
+        for _ in range(2):
+            net, _ = gadget_network(extra_spokes=2)
+            reports.append(
+                apply_faults(net, FaultConfig(seed=9, dispute_wheels=1, session_flaps=1))
+            )
+        assert reports[0].wheels == reports[1].wheels
+        assert reports[0].flapped == reports[1].flapped
+
+
+class TestDumpCorruption:
+    def make_lines(self, count: int = 40):
+        ds = PathDataset()
+        for index in range(count):
+            ds.add(
+                ObservedRoute(
+                    f"p{index}", 1, Prefix("10.0.0.0/24"), ASPath((1, 2 + index))
+                )
+            )
+        buffer = io.StringIO()
+        write_table_dump(ds, buffer)
+        return buffer.getvalue().splitlines()
+
+    def test_corruption_counted_and_deterministic(self):
+        lines = self.make_lines()
+        config = FaultConfig(seed=3, corrupt_line_fraction=0.3, truncate_line_fraction=0.2)
+        report_a, report_b = FaultReport(), FaultReport()
+        out_a = corrupt_dump_lines(lines, config, report_a)
+        out_b = corrupt_dump_lines(lines, config, report_b)
+        assert out_a == out_b
+        assert report_a.corrupted_lines == report_b.corrupted_lines > 0
+        assert report_a.truncated_lines == report_b.truncated_lines > 0
+
+    def test_corrupted_lines_skipped_by_lenient_parser(self):
+        lines = self.make_lines()
+        config = FaultConfig(seed=3, corrupt_line_fraction=0.2, truncate_line_fraction=0.1)
+        report = FaultReport()
+        corrupted = corrupt_dump_lines(lines, config, report)
+        result = read_table_dump(corrupted)
+        damaged = report.corrupted_lines + report.truncated_lines
+        assert result.skipped_malformed == damaged
+        assert len(result.dataset) == len(lines) - damaged
+
+    def test_zero_fractions_change_nothing(self):
+        lines = self.make_lines()
+        report = FaultReport()
+        assert corrupt_dump_lines(lines, FaultConfig(seed=1), report) == lines
+        assert report.corrupted_lines == report.truncated_lines == 0
+
+
+class TestSessionFlaps:
+    def test_flaps_remove_peerings(self):
+        net, prefix = gadget_network(extra_spokes=3)
+        before = net.stats()["ebgp_sessions"]
+        report = apply_faults(net, FaultConfig(seed=5, session_flaps=2))
+        assert len(report.flapped) == 2
+        assert net.stats()["ebgp_sessions"] == before - 4  # 2 peerings x 2 directions
+        # the network still simulates after the flap
+        simulate(net, on_divergence="quarantine")
+
+    def test_report_serialises(self):
+        net, _ = gadget_network()
+        report = apply_faults(
+            net, FaultConfig(seed=5, dispute_wheels=1, session_flaps=1)
+        )
+        document = report.to_dict()
+        assert set(document) == {
+            "dispute_wheels",
+            "flapped_sessions",
+            "corrupted_lines",
+            "truncated_lines",
+            "message_budget",
+        }

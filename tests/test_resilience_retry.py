@@ -1,0 +1,135 @@
+"""Tests for escalating-budget retry and divergence quarantine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.engine import default_message_budget, simulate_prefix
+from repro.bgp.network import Network
+from repro.net.prefix import Prefix
+from repro.resilience.faults import inject_dispute_wheel
+from repro.resilience.retry import (
+    CONVERGED,
+    DIVERGED,
+    TRANSIENT,
+    RetryPolicy,
+    simulate_network_with_retry,
+    simulate_prefix_with_retry,
+)
+
+
+def gadget_network(wheel_asns=(1, 2, 3), extra_spokes=0, origin_asn=4):
+    """Hub-and-spoke network with the wheel ASes forming a triangle."""
+    net = Network("gadget")
+    spokes = {asn: net.add_router(asn) for asn in wheel_asns}
+    hub = net.add_router(origin_asn)
+    prefix = Prefix("10.0.0.0/24")
+    net.originate(hub, prefix)
+    for router in spokes.values():
+        net.connect(router, hub)
+    ring = list(wheel_asns)
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        net.connect(spokes[a], spokes[b])
+    for index in range(extra_spokes):
+        net.connect(net.add_router(1000 + index), hub)
+    return net, prefix
+
+
+class TestClassification:
+    def test_healthy_prefix_is_converged_first_try(self):
+        net, prefix = gadget_network()
+        stats, outcome = simulate_prefix_with_retry(net, prefix)
+        assert outcome.status == CONVERGED
+        assert outcome.attempts == 1
+        assert stats.diverged == []
+
+    def test_tiny_budget_is_transient_after_escalation(self):
+        net, prefix = gadget_network(extra_spokes=4)
+        policy = RetryPolicy(max_attempts=6, initial_budget=1, budget_growth=8.0)
+        stats, outcome = simulate_prefix_with_retry(net, prefix, policy=policy)
+        assert outcome.status == TRANSIENT
+        assert outcome.attempts > 1
+        assert stats.diverged == []
+        # the converged state matches an unretried run with a big budget
+        best = {r.router_id: r.best(prefix) for r in net.routers.values()}
+        net2, prefix2 = gadget_network(extra_spokes=4)
+        simulate_prefix(net2, prefix2)
+        for router in net2.routers.values():
+            mine = best[router.router_id]
+            theirs = router.best(prefix2)
+            assert (mine is None) == (theirs is None)
+            if mine is not None:
+                assert mine.as_path == theirs.as_path
+
+    def test_dispute_wheel_is_quarantined(self):
+        net, prefix = gadget_network()
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        policy = RetryPolicy(max_attempts=3, initial_budget=500, budget_cap=5000)
+        stats, outcome = simulate_prefix_with_retry(net, prefix, policy=policy)
+        assert outcome.status == DIVERGED
+        assert outcome.attempts == 3
+        assert stats.diverged == [prefix]
+        assert all(r.best(prefix) is None for r in net.routers.values())
+
+    def test_budget_cap_stops_escalation_early(self):
+        net, prefix = gadget_network()
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        policy = RetryPolicy(max_attempts=100, initial_budget=500, budget_cap=500)
+        _, outcome = simulate_prefix_with_retry(net, prefix, policy=policy)
+        assert outcome.status == DIVERGED
+        assert outcome.attempts == 1  # budget already at cap: no point retrying
+
+    def test_network_level_run_mixes_outcomes(self):
+        net, prefix = gadget_network()
+        clean = Prefix("10.0.1.0/24")
+        net.originate(net.routers[list(net.routers)[0]], clean)
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        result = simulate_network_with_retry(
+            net, policy=RetryPolicy(max_attempts=2, initial_budget=500, budget_cap=2000)
+        )
+        assert result.diverged == [prefix]
+        assert clean not in result.diverged
+        assert result.engine.diverged == [prefix]
+        document = result.to_dict()
+        assert document["diverged"] == [str(prefix)]
+        assert document["prefixes"] == 2
+
+    def test_policy_budget_helpers(self):
+        net, _ = gadget_network()
+        policy = RetryPolicy(initial_budget=None, budget_growth=4.0, budget_cap=100)
+        assert policy.first_budget(net) == 100  # capped below engine default
+        assert default_message_budget(net) > 100
+        assert policy.next_budget(100) == 100
+        assert RetryPolicy(budget_growth=4.0).next_budget(10) == 40
+
+
+class TestDisputeWheelProperty:
+    """Any injected dispute wheel ends in quarantine — never a hang."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        wheel_asns=st.permutations((1, 2, 3)),
+        extra_spokes=st.integers(min_value=0, max_value=3),
+        initial_budget=st.integers(min_value=10, max_value=2000),
+        growth=st.floats(min_value=1.5, max_value=8.0),
+        attempts=st.integers(min_value=1, max_value=4),
+    )
+    def test_wheel_always_quarantined_within_deadline(
+        self, wheel_asns, extra_spokes, initial_budget, growth, attempts
+    ):
+        net, prefix = gadget_network(extra_spokes=extra_spokes)
+        inject_dispute_wheel(net, prefix, tuple(wheel_asns))
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            initial_budget=initial_budget,
+            budget_growth=growth,
+            budget_cap=50_000,
+            deadline_seconds=30.0,
+        )
+        stats, outcome = simulate_prefix_with_retry(net, prefix, policy=policy)
+        assert outcome.status == DIVERGED
+        assert outcome.attempts <= attempts
+        assert outcome.elapsed < 30.0
+        assert outcome.messages <= attempts * 50_000 + attempts
+        assert stats.diverged == [prefix]
+        # quarantine: no residual routing state anywhere
+        assert all(r.best(prefix) is None for r in net.routers.values())
