@@ -1,0 +1,40 @@
+"""Static analysis of AS-routing models: safety, policy and topology lint.
+
+``repro.analysis`` proves or refutes model properties *before* any
+simulation runs: dispute-wheel detection over the per-prefix preference
+digraph (Griffin-style safety), route-map lint (shadowed and
+contradictory clauses, filters that block every observed path, stale
+refinement clauses) and topology lint (isolated quasi-routers, merge
+candidates, ASes invisible to every observation point).  The ``repro
+lint`` CLI subcommand and the refinement lint gate
+(:class:`~repro.core.refine.RefinementConfig` ``lint_gate``) are built on
+this package.
+"""
+
+from repro.analysis.analyzer import (
+    ALL_PASSES,
+    analyze_config,
+    analyze_model,
+    analyze_network,
+)
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.safety import (
+    PreferenceEdge,
+    analyze_safety,
+    collect_preference_edges,
+    unsafe_prefixes,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "AnalysisReport",
+    "Finding",
+    "PreferenceEdge",
+    "Severity",
+    "analyze_config",
+    "analyze_model",
+    "analyze_network",
+    "analyze_safety",
+    "collect_preference_edges",
+    "unsafe_prefixes",
+]

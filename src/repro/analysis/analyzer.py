@@ -1,0 +1,91 @@
+"""Analyzer orchestration: run the static passes over a model or config.
+
+The analyzer operates on an in-memory :class:`~repro.bgp.Network` (or an
+:class:`~repro.core.model.ASRoutingModel` wrapping one, or a C-BGP-style
+config file parsed into one) and requires no simulation.  Passes:
+
+* ``safety`` — dispute-digraph cycle detection (:mod:`.safety`);
+* ``policy`` — route-map lint (:mod:`.policy_lint`); the
+  dataset-dependent rules (blocking filters, stale refinement clauses)
+  only run when a training dataset is supplied;
+* ``topology`` — structural lint (:mod:`.topology_lint`); observation-
+  point reachability only runs when observer ASes are known (defaulting
+  to the dataset's observers).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.policy_lint import analyze_policies
+from repro.analysis.safety import analyze_safety
+from repro.analysis.topology_lint import analyze_topology
+from repro.bgp.network import Network
+from repro.net.prefix import Prefix
+from repro.topology.dataset import PathDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.model import ASRoutingModel
+
+ALL_PASSES = ("safety", "policy", "topology")
+
+
+def analyze_network(
+    network: Network,
+    dataset: PathDataset | None = None,
+    observer_asns: set[int] | None = None,
+    prefix_by_origin: dict[int, Prefix] | None = None,
+    passes: Iterable[str] = ALL_PASSES,
+) -> AnalysisReport:
+    """Run the selected static passes over ``network``."""
+    selected = list(passes)
+    unknown = sorted(set(selected) - set(ALL_PASSES))
+    if unknown:
+        raise ValueError(f"unknown analysis passes: {unknown}")
+    if observer_asns is None and dataset is not None:
+        observer_asns = dataset.observer_asns()
+    report = AnalysisReport()
+    if "safety" in selected:
+        report.extend(analyze_safety(network), "safety")
+    if "policy" in selected:
+        report.extend(
+            analyze_policies(network, dataset, prefix_by_origin), "policy"
+        )
+    if "topology" in selected:
+        report.extend(analyze_topology(network, observer_asns), "topology")
+    return report
+
+
+def analyze_model(
+    model: "ASRoutingModel",
+    dataset: PathDataset | None = None,
+    observer_asns: set[int] | None = None,
+    passes: Iterable[str] = ALL_PASSES,
+) -> AnalysisReport:
+    """Run the analyzer over a model, using its origin -> prefix mapping."""
+    return analyze_network(
+        model.network,
+        dataset=dataset,
+        observer_asns=observer_asns,
+        prefix_by_origin=dict(model.prefix_by_origin),
+        passes=passes,
+    )
+
+
+def analyze_config(
+    path: str | Path,
+    dataset: PathDataset | None = None,
+    observer_asns: set[int] | None = None,
+    passes: Iterable[str] = ALL_PASSES,
+) -> AnalysisReport:
+    """Parse a C-BGP-style config file and run the analyzer over it."""
+    from repro.cbgp.parse import parse_file
+
+    return analyze_network(
+        parse_file(path),
+        dataset=dataset,
+        observer_asns=observer_asns,
+        passes=passes,
+    )

@@ -1,0 +1,165 @@
+"""Topology lint: structural model defects detectable without simulation.
+
+Three rules over the quasi-router topology:
+
+* ``topo-isolated-router`` — a quasi-router with no sessions at all; it
+  can neither learn nor propagate routes, so it is dead weight (typically
+  left behind by session flaps or aggressive pruning);
+* ``topo-redundant-quasi-router`` — two quasi-routers of the same AS with
+  identical neighbours, originations and per-session policies; they
+  select identical routes, so one of them is a merge candidate — directly
+  relevant to the paper's quasi-router-count model-size metric (Fig. 8);
+* ``topo-unreachable-as`` — an AS with no AS-level path to any
+  observation point; no route it originates can ever be observed, so the
+  training data can neither constrain nor validate it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.findings import Finding, Severity
+from repro.bgp.network import Network
+from repro.bgp.policy import Clause, RouteMap
+from repro.bgp.router import Router
+
+RULE_ISOLATED = "topo-isolated-router"
+RULE_REDUNDANT = "topo-redundant-quasi-router"
+RULE_UNREACHABLE = "topo-unreachable-as"
+
+_ASNS_PER_FINDING = 25
+"""At most this many unreachable ASes are named in one finding."""
+
+
+def _clause_signature(clause: Clause) -> tuple:
+    """Hashable identity of one clause's behaviour."""
+    return (
+        clause.match,
+        clause.action,
+        clause.set_local_pref,
+        clause.set_med,
+        clause.prepend,
+        clause.add_communities,
+        clause.strip_communities,
+        clause.tag,
+    )
+
+
+def _map_signature(route_map: RouteMap | None) -> tuple:
+    """Hashable identity of a route-map (clause order matters)."""
+    if route_map is None or not route_map:
+        return ()
+    return (
+        route_map.default_action,
+        tuple(_clause_signature(clause) for clause in route_map.clauses()),
+    )
+
+
+def _router_signature(router: Router) -> tuple:
+    """Hashable identity of a quasi-router's wiring, policies and origins."""
+    inbound = frozenset(
+        (s.src.router_id, _map_signature(s.import_map), _map_signature(s.export_map))
+        for s in router.sessions_in
+    )
+    outbound = frozenset(
+        (s.dst.router_id, _map_signature(s.import_map), _map_signature(s.export_map))
+        for s in router.sessions_out
+    )
+    return (inbound, outbound, frozenset(router.local_routes))
+
+
+def analyze_topology(
+    network: Network, observer_asns: set[int] | None = None
+) -> list[Finding]:
+    """Run all topology-lint rules; reachability needs ``observer_asns``."""
+    findings: list[Finding] = []
+    findings.extend(_isolated_routers(network))
+    findings.extend(_redundant_quasi_routers(network))
+    if observer_asns:
+        findings.extend(_unreachable_ases(network, observer_asns))
+    return findings
+
+
+def _isolated_routers(network: Network) -> list[Finding]:
+    """Quasi-routers with no sessions in either direction."""
+    findings: list[Finding] = []
+    for router in network.routers.values():
+        if router.sessions_in or router.sessions_out:
+            continue
+        findings.append(
+            Finding(
+                rule=RULE_ISOLATED,
+                severity=Severity.WARNING,
+                message=(
+                    f"quasi-router {router.name} has no sessions; it can "
+                    "neither learn nor announce any route"
+                ),
+                asns=(router.asn,),
+                routers=(router.router_id,),
+            )
+        )
+    return findings
+
+
+def _redundant_quasi_routers(network: Network) -> list[Finding]:
+    """Same-AS quasi-routers with identical wiring, policies and origins."""
+    findings: list[Finding] = []
+    for node in network.ases.values():
+        if len(node.routers) < 2:
+            continue
+        groups: dict[tuple, list[Router]] = defaultdict(list)
+        for router in node.routers:
+            groups[_router_signature(router)].append(router)
+        for routers in groups.values():
+            if len(routers) < 2:
+                continue
+            names = ", ".join(router.name for router in routers)
+            findings.append(
+                Finding(
+                    rule=RULE_REDUNDANT,
+                    severity=Severity.INFO,
+                    message=(
+                        f"AS{node.asn} quasi-routers {names} have identical "
+                        "sessions, policies and originations; they are merge "
+                        "candidates (inflated quasi-router count)"
+                    ),
+                    asns=(node.asn,),
+                    routers=tuple(sorted(r.router_id for r in routers)),
+                )
+            )
+    return findings
+
+
+def _unreachable_ases(
+    network: Network, observer_asns: set[int]
+) -> list[Finding]:
+    """ASes with no AS-level path to any observation point."""
+    adjacency: dict[int, set[int]] = {asn: set() for asn in network.ases}
+    for a, b in network.as_adjacencies():
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    seen = {asn for asn in observer_asns if asn in adjacency}
+    frontier = list(seen)
+    while frontier:
+        asn = frontier.pop()
+        for neighbor in adjacency.get(asn, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    unreachable = sorted(set(network.ases) - seen)
+    if not unreachable:
+        return []
+    shown = ", ".join(f"AS{asn}" for asn in unreachable[:_ASNS_PER_FINDING])
+    suffix = "" if len(unreachable) <= _ASNS_PER_FINDING else ", ..."
+    return [
+        Finding(
+            rule=RULE_UNREACHABLE,
+            severity=Severity.WARNING,
+            message=(
+                f"{len(unreachable)} AS(es) unreachable from every "
+                f"observation point: {shown}{suffix}; their routes can "
+                "never be observed or validated"
+            ),
+            asns=tuple(unreachable[:_ASNS_PER_FINDING]),
+        )
+    ]

@@ -27,21 +27,31 @@ from __future__ import annotations
 
 import enum
 import re
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.bgp.route import Route
 from repro.net.prefix import Prefix
 
-_REGEX_CACHE: dict[str, "re.Pattern[str]"] = {}
+_REGEX_CACHE: "OrderedDict[str, re.Pattern[str]]" = OrderedDict()
+
+_REGEX_CACHE_LIMIT = 1024
+"""Upper bound on cached compiled patterns.  Long refinement runs that
+sweep many distinct AS-path patterns must not grow the cache without
+limit, so the cache evicts in LRU order once full."""
 
 
 def _compiled(pattern: str) -> "re.Pattern[str]":
-    """Compile-and-cache an AS-path regular expression."""
+    """Compile-and-cache an AS-path regular expression (bounded LRU)."""
     compiled = _REGEX_CACHE.get(pattern)
     if compiled is None:
         compiled = re.compile(pattern)
         _REGEX_CACHE[pattern] = compiled
+        if len(_REGEX_CACHE) > _REGEX_CACHE_LIMIT:
+            _REGEX_CACHE.popitem(last=False)
+    else:
+        _REGEX_CACHE.move_to_end(pattern)
     return compiled
 
 
@@ -91,6 +101,60 @@ class Match:
         ):
             return False
         if self.community is not None and self.community not in route.communities:
+            return False
+        return True
+
+    def is_satisfiable(self) -> bool:
+        """False if no route can ever satisfy this match.
+
+        The only contradiction expressible within one match is between the
+        two path-length bounds: ``len < lt`` and ``len > gt`` admit no
+        length when ``gt + 1 >= lt`` (and ``lt == 0`` admits nothing at
+        all, lengths being non-negative).
+        """
+        if self.path_len_lt is not None and self.path_len_lt <= 0:
+            return False
+        if self.path_len_lt is not None and self.path_len_gt is not None:
+            return self.path_len_gt + 1 < self.path_len_lt
+        return True
+
+    def subsumes(self, other: "Match") -> bool:
+        """True if every route matched by ``other`` is matched by ``self``.
+
+        This is the foundation of the static shadowing analysis: with
+        first-match-wins route-maps, a clause whose match is subsumed by an
+        earlier clause's match can never be evaluated.  The check is
+        conservative (sound, not complete): a ``True`` answer guarantees
+        subsumption, a ``False`` answer makes no claim — regexes, for
+        instance, are only recognised as subsuming when textually equal.
+        """
+        if not other.is_satisfiable():
+            return True
+        if self.prefix is not None and self.prefix != other.prefix:
+            return False
+        if self.path_len_lt is not None and (
+            other.path_len_lt is None or other.path_len_lt > self.path_len_lt
+        ):
+            return False
+        if self.path_len_gt is not None and (
+            other.path_len_gt is None or other.path_len_gt < self.path_len_gt
+        ):
+            return False
+        if self.from_asn is not None:
+            # A match pinned to one neighbour router implies its AS: router
+            # ids encode the ASN in their high bits (Section 4.5).
+            other_asn = other.from_asn
+            if other_asn is None and other.from_router is not None:
+                other_asn = other.from_router >> 16
+            if other_asn != self.from_asn:
+                return False
+        if self.from_router is not None and other.from_router != self.from_router:
+            return False
+        if self.path_contains is not None and other.path_contains != self.path_contains:
+            return False
+        if self.path_regex is not None and other.path_regex != self.path_regex:
+            return False
+        if self.community is not None and other.community != self.community:
             return False
         return True
 
@@ -226,11 +290,29 @@ class RouteMap:
         """Return an independently-mutable copy (clause objects are shared)."""
         return RouteMap(self.clauses(), default_action=self.default_action)
 
+    def entries(self) -> list[tuple[int, Clause]]:
+        """All (position, clause) pairs in evaluation order.
+
+        Positions are the stable ordering keys the prefix index sorts by;
+        the static analyzer uses them to name clauses in findings.
+        """
+        return list(self._clauses)
+
+    def entries_for_prefix(self, prefix: Prefix) -> list[tuple[int, Clause]]:
+        """The (position, clause) pairs that could match ``prefix``, in order.
+
+        Includes the *generic* clauses (those whose match names no exact
+        prefix) alongside the prefix-indexed ones: a shadowing check that
+        consulted only the exact-prefix bucket would miss a broad earlier
+        clause — e.g. ``Match()`` — that makes every later per-prefix
+        clause unreachable.
+        """
+        indexed = self._by_prefix.get(prefix, [])
+        return sorted(indexed + self._generic, key=lambda entry: entry[0])
+
     def clauses_for_prefix(self, prefix: Prefix) -> Iterator[Clause]:
         """Iterate, in evaluation order, over clauses that could match ``prefix``."""
-        indexed = self._by_prefix.get(prefix, [])
-        merged = sorted(indexed + self._generic, key=lambda entry: entry[0])
-        return (clause for _, clause in merged)
+        return (clause for _, clause in self.entries_for_prefix(prefix))
 
     def apply(self, route: Route) -> Route | None:
         """Evaluate the route-map on ``route``; None means denied."""

@@ -8,6 +8,7 @@ are recovered from the dotted-quad node addresses (high 16 bits = ASN).
 from __future__ import annotations
 
 import re
+from pathlib import Path
 from typing import Iterable, TextIO
 
 from repro.bgp.network import Network
@@ -90,6 +91,12 @@ def parse_script(source: TextIO | Iterable[str]) -> Network:
     return network
 
 
+def parse_file(path: str | Path) -> Network:
+    """Parse a C-BGP-style config file from disk into a :class:`Network`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_script(handle)
+
+
 def _ensure_router(
     network: Network, routers_by_ip: dict[int, Router], router_id: int
 ) -> Router:
@@ -140,7 +147,7 @@ class _PendingRule:
         route_map.append(
             Clause(
                 match=_parse_match(self.match_text),
-                tag=self.tag_text,
+                tag=self.tag_text or None,
                 **_parse_action(self.action_text),
             )
         )

@@ -10,6 +10,9 @@ Subcommands mirror the paper's workflow:
 * ``repro refine`` — build and refine an AS-routing model from a dump,
   evaluate on a held-out split, and optionally save the model as a
   C-BGP-style config.
+* ``repro lint`` — static analysis of a saved model config, no
+  simulation: dispute-wheel safety, route-map lint, topology lint.
+  Exits 1 if any error-severity finding is reported, 0 otherwise.
 * ``repro whatif`` — load a saved model and predict the impact of
   removing an AS adjacency.
 * ``repro chaos`` — run the pipeline over a deterministically
@@ -17,7 +20,8 @@ Subcommands mirror the paper's workflow:
   flaps, budget exhaustion) and emit a JSON run-health report.
 
 Exit codes follow :mod:`repro.resilience.health`: 0 ok, 1 refinement
-stalled, 2 usage, 3 diverged prefixes quarantined, 4 unusable data.
+stalled (or, for ``repro lint``, error findings), 2 usage, 3 diverged
+prefixes quarantined, 4 unusable data.
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ from repro.core.whatif import depeer
 from repro.data.dumps import read_table_dump, write_table_dump
 from repro.data.observation import collect_dataset, select_observation_points
 from repro.data.synthesis import SyntheticConfig, synthesize_internet
-from repro.errors import CheckpointError, DatasetError
+from repro.errors import CheckpointError, DatasetError, ParseError, TopologyError
 from repro.resilience.faults import FaultConfig
 from repro.resilience.health import EXIT_DATA, RunHealth
 from repro.resilience.retry import RetryPolicy
@@ -101,7 +105,26 @@ def build_parser() -> argparse.ArgumentParser:
     refine.add_argument("--retry-attempts", type=int, default=0,
                         help="retry diverging prefixes with escalating budgets "
                              "this many times, then quarantine (0 = raise)")
+    refine.add_argument("--lint-gate", action="store_true",
+                        help="statically quarantine dispute-wheel prefixes "
+                             "before simulating (zero attempts spent on them)")
     refine.set_defaults(handler=cmd_refine)
+
+    lint = subparsers.add_parser(
+        "lint", help="static safety/policy/topology analysis of a model"
+    )
+    lint.add_argument("model", help="model config written by 'repro refine --out'")
+    lint.add_argument("--dump", help="training dump enabling the dataset-"
+                                     "dependent rules (blocking filters, "
+                                     "stale refinement clauses, reachability)")
+    lint.add_argument("--passes", nargs="*", default=None,
+                      metavar="PASS", help="subset of passes to run "
+                                           "(safety policy topology)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full report as JSON instead of text")
+    lint.add_argument("--max-findings", type=int, default=50,
+                      help="findings shown in text mode (JSON is never cut)")
+    lint.set_defaults(handler=cmd_lint)
 
     chaos = subparsers.add_parser(
         "chaos", help="run the pipeline over a fault-injected workload"
@@ -122,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--message-budget", type=int, default=None,
                        help="sabotaged initial per-prefix message budget")
     chaos.add_argument("--retry-attempts", type=int, default=3)
+    chaos.add_argument("--lint-gate", action="store_true",
+                       help="statically quarantine wheel prefixes before "
+                            "simulating instead of burning retry budget")
     chaos.add_argument("--refine-iterations", type=int, default=10)
     chaos.add_argument("--health-report",
                        help="write the JSON RunHealth report to this path "
@@ -225,6 +251,18 @@ def cmd_refine(args) -> int:
     retry = RetryPolicy(max_attempts=args.retry_attempts) \
         if args.retry_attempts > 0 else None
     model = build_initial_model(pruned.dataset, pruned.graph)
+    if args.lint_gate:
+        from repro.analysis import analyze_model
+
+        with health.phase("lint"):
+            lint_report = analyze_model(model, dataset=training)
+        health.record_lint(lint_report)
+        if lint_report.errors:
+            print(
+                f"lint gate: {len(lint_report.errors)} error finding(s); "
+                "statically-unsafe prefixes will be quarantined unsimulated",
+                file=sys.stderr,
+            )
     refiner = Refiner(
         model,
         training,
@@ -232,6 +270,7 @@ def cmd_refine(args) -> int:
             max_iterations=args.max_iterations,
             retry=retry,
             checkpoint_every=args.checkpoint_every,
+            lint_gate=args.lint_gate,
         ),
     )
     started = time.perf_counter()
@@ -282,6 +321,37 @@ def cmd_refine(args) -> int:
     return health.exit_code
 
 
+def cmd_lint(args) -> int:
+    """Handle ``repro lint``."""
+    from repro.analysis import ALL_PASSES, analyze_model
+
+    try:
+        with open(args.model, "r", encoding="ascii") as handle:
+            network = parse_script(handle)
+        model = ASRoutingModel.from_network(network)
+    except (OSError, ParseError, TopologyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    dataset = None
+    if args.dump:
+        try:
+            dataset = read_table_dump(args.dump).dataset.cleaned()
+        except (OSError, DatasetError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_DATA
+    passes = tuple(args.passes) if args.passes else ALL_PASSES
+    try:
+        report = analyze_model(model, dataset=dataset, passes=passes)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render(max_findings=args.max_findings))
+    return report.exit_code
+
+
 def cmd_chaos(args) -> int:
     """Handle ``repro chaos``."""
     from repro.experiments.chaos import ChaosConfig, run_chaos
@@ -300,6 +370,7 @@ def cmd_chaos(args) -> int:
             message_budget=args.message_budget,
         ),
         retry=RetryPolicy(max_attempts=max(1, args.retry_attempts)),
+        lint_gate=args.lint_gate,
     )
     health = run_chaos(config)
     if args.health_report:
@@ -311,9 +382,11 @@ def cmd_chaos(args) -> int:
     simulation = summary.get("simulation") or {}
     print(
         f"chaos: {simulation.get('prefixes', 0)} prefixes, "
+        f"{simulation.get('attempts', 0)} attempts, "
         f"{simulation.get('retries', 0)} retries, "
         f"{len(simulation.get('transient', []))} transient, "
         f"{len(simulation.get('diverged', []))} diverged, "
+        f"{len(simulation.get('unsafe', []))} statically unsafe, "
         f"exit code {health.exit_code}",
         file=sys.stderr,
     )

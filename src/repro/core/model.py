@@ -10,6 +10,7 @@ Section 4.6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.bgp.decision import DecisionConfig
 from repro.bgp.engine import EngineStats, simulate, simulate_prefix
@@ -108,30 +109,37 @@ class ASRoutingModel:
         self,
         max_messages: int | None = None,
         tolerate_divergence: bool = False,
+        prefixes: Iterable[Prefix] | None = None,
     ) -> EngineStats:
-        """Simulate every canonical prefix to convergence.
+        """Simulate every canonical prefix (or the given subset) to convergence.
 
         With ``tolerate_divergence`` a prefix whose simulation exceeds the
         message budget (a policy dispute wheel, possible for inferred
         relationship policies) has its state cleared and is recorded in
         the returned stats' ``diverged`` list instead of raising — the
-        engine's ``on_divergence="quarantine"`` mode.
+        engine's ``on_divergence="quarantine"`` mode.  ``prefixes``
+        restricts the run (the lint gate uses this to skip statically
+        unsafe prefixes entirely).
         """
         on_divergence = "quarantine" if tolerate_divergence else "raise"
-        return simulate(self.network, config=MODEL_DECISION_CONFIG,
+        return simulate(self.network, prefixes=prefixes,
+                        config=MODEL_DECISION_CONFIG,
                         max_messages=max_messages, on_divergence=on_divergence)
 
     def simulate_all_resilient(
-        self, policy: RetryPolicy = RetryPolicy()
+        self,
+        policy: RetryPolicy = RetryPolicy(),
+        prefixes: Iterable[Prefix] | None = None,
     ) -> ResilienceStats:
-        """Simulate every canonical prefix with retry + quarantine.
+        """Simulate every canonical prefix (or a subset) with retry + quarantine.
 
         Non-convergence is retried with escalating message budgets under
         ``policy``; prefixes that still diverge are quarantined (state
         cleared, listed in the outcomes) rather than aborting the run.
         """
         return simulate_network_with_retry(
-            self.network, config=MODEL_DECISION_CONFIG, policy=policy
+            self.network, prefixes=prefixes, config=MODEL_DECISION_CONFIG,
+            policy=policy
         )
 
     def simulate_origin(self, origin_asn: int,

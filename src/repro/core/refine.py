@@ -67,6 +67,13 @@ class RefinementConfig:
     that still diverge instead of aborting the run.  ``checkpoint_every``
     sets how many iterations pass between snapshots when
     :meth:`Refiner.run` is given a checkpoint path.
+
+    ``lint_gate`` runs the static safety analyzer
+    (:func:`repro.analysis.safety.unsafe_prefixes`) before the first
+    simulation and quarantines statically-unsafe prefixes *without
+    spending any simulation attempts on them* — each gets a
+    zero-attempt ``unsafe`` outcome instead of burning the full retry
+    budget the way a divergence quarantine would.
     """
 
     max_iterations: int = 60
@@ -78,6 +85,7 @@ class RefinementConfig:
     install_ranking: bool = True
     retry: RetryPolicy | None = None
     checkpoint_every: int = 5
+    lint_gate: bool = False
 
 
 @dataclass
@@ -136,6 +144,8 @@ class Refiner:
         self.model = model
         self.config = config
         self.outcomes: list[PrefixOutcome] = []
+        self.gated_prefixes: list[Prefix] = []
+        self._gate_applied = False
         self.targets: dict[int, list[tuple[int, ...]]] = {}
         for origin, paths in training.unique_paths_by_origin().items():
             if origin not in model.prefix_by_origin:
@@ -165,6 +175,7 @@ class Refiner:
         and — simulation being deterministic — the run lands on the same
         final model an uninterrupted run would have produced.
         """
+        self._apply_lint_gate()
         checkpoint_path = Path(checkpoint) if checkpoint is not None else None
         start_iteration = 0
         best_matched = -1
@@ -239,12 +250,45 @@ class Refiner:
         iterations = [IterationStats(**fields) for fields in saved.iterations]
         return saved.iteration, saved.best_matched, saved.stale_iterations, iterations
 
+    def _apply_lint_gate(self) -> None:
+        """Statically quarantine unsafe prefixes before any simulation.
+
+        Each gated prefix gets a zero-attempt ``unsafe`` outcome, its
+        routing state is cleared, its training origin is dropped from the
+        refinement targets and all later simulation passes skip it — so a
+        dispute wheel costs no simulation attempts at all, versus the full
+        per-prefix retry budget under the plain divergence quarantine.
+        Idempotent; a no-op unless ``config.lint_gate`` is set.
+        """
+        if not self.config.lint_gate or self._gate_applied:
+            return
+        self._gate_applied = True
+        from repro.analysis.safety import unsafe_prefixes
+
+        for prefix in unsafe_prefixes(self.model.network):
+            self.model.network.clear_prefix(prefix)
+            self.gated_prefixes.append(prefix)
+            self.outcomes.append(PrefixOutcome.gated(prefix))
+            origin = self.model.origin_by_prefix.get(prefix)
+            if origin is not None:
+                self.targets.pop(origin, None)
+
     def _simulate_all(self) -> None:
-        """Simulate every prefix, honouring the configured retry policy."""
+        """Simulate every non-gated prefix, honouring the retry policy."""
+        prefixes = None
+        if self.gated_prefixes:
+            gated = set(self.gated_prefixes)
+            prefixes = [
+                prefix
+                for prefix in self.model.network.prefixes()
+                if prefix not in gated
+            ]
         if self.config.retry is None:
-            self.model.simulate_all()
+            self.model.simulate_all(prefixes=prefixes)
         else:
-            stats = self.model.simulate_all_resilient(self.config.retry)
+            stats = self.model.simulate_all_resilient(
+                self.config.retry, prefixes=prefixes
+            )
             self.outcomes.extend(stats.outcomes)
 
     def _simulate_origin(self, origin: int) -> None:
@@ -269,6 +313,7 @@ class Refiner:
         except through new quasi-routers, whose announcements lose every
         tie against existing ones (they carry higher router ids).
         """
+        self._apply_lint_gate()
         for origin in sorted(self.targets):
             self._simulate_origin(origin)
         return self.run(simulate_first=False)

@@ -15,15 +15,21 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field, replace
 
+from repro.analysis import analyze_network
 from repro.core.build import build_initial_model
 from repro.core.refine import RefinementConfig, Refiner
 from repro.data.dumps import read_table_dump, write_table_dump
 from repro.data.observation import collect_dataset, select_observation_points
 from repro.data.synthesis import SyntheticConfig, synthesize_internet
 from repro.errors import DatasetError, RefinementError
+from repro.net.prefix import Prefix
 from repro.resilience.faults import FaultConfig, apply_faults, corrupt_dump_lines
 from repro.resilience.health import RunHealth
-from repro.resilience.retry import RetryPolicy, simulate_network_with_retry
+from repro.resilience.retry import (
+    PrefixOutcome,
+    RetryPolicy,
+    simulate_network_with_retry,
+)
 from repro.topology.classify import classify_ases
 from repro.topology.clique import infer_level1_clique
 from repro.topology.graph import ASGraph
@@ -49,6 +55,14 @@ class ChaosConfig:
     retry: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(max_attempts=3, deadline_seconds=20.0)
     )
+    lint_gate: bool = False
+    """Statically quarantine dispute-wheel prefixes before simulating.
+
+    With the gate on, the safety analyzer runs over the fault-injected
+    network and every statically-unsafe prefix gets a zero-attempt
+    ``unsafe`` outcome instead of burning the full retry budget in the
+    simulate phase; the lint report lands in the health report.
+    """
 
 
 def run_chaos(config: ChaosConfig = ChaosConfig()) -> RunHealth:
@@ -67,13 +81,28 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> RunHealth:
     with health.phase("inject-faults"):
         report = apply_faults(internet.network, config.faults)
 
+    gated: list[Prefix] = []
+    if config.lint_gate:
+        with health.phase("lint"):
+            lint = analyze_network(internet.network, passes=("safety",))
+            health.record_lint(lint)
+            gated = sorted(lint.unsafe_prefixes(), key=str)
+
     retry = config.retry
     if config.faults.message_budget is not None:
         # Budget-exhaustion fault: start every prefix from the sabotaged
         # budget so healthy prefixes must recover through escalation.
         retry = replace(retry, initial_budget=config.faults.message_budget)
     with health.phase("simulate"):
-        stats = simulate_network_with_retry(internet.network, policy=retry)
+        targets = None
+        if gated:
+            skip = set(gated)
+            targets = [p for p in internet.network.prefixes() if p not in skip]
+        stats = simulate_network_with_retry(
+            internet.network, prefixes=targets, policy=retry
+        )
+        for prefix in gated:
+            stats.outcomes.append(PrefixOutcome.gated(prefix))
     health.record_simulation(stats)
 
     with health.phase("dump"):

@@ -44,6 +44,7 @@ class RunHealth:
     phases: dict[str, float] = field(default_factory=dict)
     faults: dict | None = None
     parse: dict | None = None
+    lint: dict | None = None
     simulation: dict | None = None
     refinement: dict | None = None
     errors: list[str] = field(default_factory=list)
@@ -74,6 +75,21 @@ class RunHealth:
         """Fold a :class:`~repro.resilience.retry.ResilienceStats` in."""
         self.simulation = stats.to_dict()
 
+    def record_lint(self, report) -> None:
+        """Fold an :class:`~repro.analysis.findings.AnalysisReport` in.
+
+        Stores the rule/severity counts plus the statically-unsafe
+        prefixes, so a health report shows what the lint gate quarantined
+        (or what a chaos run should expect to diverge).
+        """
+        self.lint = {
+            "passes": list(report.passes),
+            "counts": report.counts(),
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "unsafe_prefixes": [str(p) for p in report.unsafe_prefixes()],
+        }
+
     def record_refinement(
         self, result, unmatched: list[tuple[int, tuple[int, ...]]] | None = None
     ) -> None:
@@ -98,10 +114,17 @@ class RunHealth:
 
     @property
     def diverged_prefixes(self) -> list[str]:
-        """Quarantined prefixes, if a simulation phase was recorded."""
+        """Quarantined prefixes, if a simulation phase was recorded.
+
+        Includes prefixes the lint gate quarantined statically (status
+        ``unsafe``): either way the model carries no routes for them, so
+        both classes map to :data:`EXIT_DIVERGED`.
+        """
         if self.simulation is None:
             return []
-        return list(self.simulation.get("diverged", []))
+        return list(self.simulation.get("diverged", [])) + list(
+            self.simulation.get("unsafe", [])
+        )
 
     @property
     def exit_code(self) -> int:
@@ -124,6 +147,7 @@ class RunHealth:
             "phases_seconds": {k: round(v, 6) for k, v in self.phases.items()},
             "faults": self.faults,
             "parse": self.parse,
+            "lint": self.lint,
             "simulation": self.simulation,
             "refinement": self.refinement,
             "errors": list(self.errors),

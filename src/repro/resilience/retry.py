@@ -27,6 +27,8 @@ from repro.net.prefix import Prefix
 CONVERGED = "converged"
 TRANSIENT = "transient"
 DIVERGED = "diverged"
+UNSAFE = "unsafe"
+"""Quarantined by the static lint gate *before* any simulation attempt."""
 
 
 @dataclass(frozen=True)
@@ -80,6 +82,12 @@ class PrefixOutcome:
             "elapsed_seconds": round(self.elapsed, 6),
         }
 
+    @classmethod
+    def gated(cls, prefix: Prefix) -> "PrefixOutcome":
+        """An outcome for a prefix the lint gate quarantined: zero attempts,
+        zero messages — no simulation budget was spent at all."""
+        return cls(prefix, UNSAFE, attempts=0, messages=0, final_budget=0, elapsed=0.0)
+
 
 @dataclass
 class ResilienceStats:
@@ -99,19 +107,31 @@ class ResilienceStats:
         return [o.prefix for o in self.outcomes if o.status == DIVERGED]
 
     @property
+    def unsafe(self) -> list[Prefix]:
+        """Prefixes the static lint gate quarantined without simulating."""
+        return [o.prefix for o in self.outcomes if o.status == UNSAFE]
+
+    @property
     def retries(self) -> int:
         """Total extra attempts across all prefixes."""
-        return sum(o.attempts - 1 for o in self.outcomes)
+        return sum(max(0, o.attempts - 1) for o in self.outcomes)
+
+    @property
+    def attempts(self) -> int:
+        """Total simulation attempts across all prefixes (gated ones cost 0)."""
+        return sum(o.attempts for o in self.outcomes)
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary for the RunHealth report."""
         return {
             "prefixes": len(self.outcomes),
             "messages": self.engine.messages,
+            "attempts": self.attempts,
             "retries": self.retries,
             "converged": sum(1 for o in self.outcomes if o.status == CONVERGED),
             "transient": [str(p) for p in self.transient],
             "diverged": [str(p) for p in self.diverged],
+            "unsafe": [str(p) for p in self.unsafe],
             "outcomes": [o.to_dict() for o in self.outcomes if o.status != CONVERGED],
         }
 

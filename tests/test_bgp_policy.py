@@ -215,3 +215,66 @@ class TestPathRegex:
         r_b = clone.as_routers(2)[0]
         clause = next(clone.get_session(r_b, r_a).import_map.clauses())
         assert clause.match.path_regex == "^2 .* 9$"
+
+
+class TestSubsumes:
+    def test_empty_match_subsumes_everything(self):
+        assert Match().subsumes(Match(prefix=P1, path_len_lt=3, from_asn=5))
+        assert not Match(prefix=P1).subsumes(Match())
+
+    def test_prefix_must_agree(self):
+        assert Match(prefix=P1).subsumes(Match(prefix=P1, path_len_lt=3))
+        assert not Match(prefix=P1).subsumes(Match(prefix=P2))
+        assert not Match(prefix=P1).subsumes(Match(path_len_lt=3))
+
+    def test_wider_length_bound_subsumes_narrower(self):
+        assert Match(path_len_lt=5).subsumes(Match(path_len_lt=3))
+        assert not Match(path_len_lt=3).subsumes(Match(path_len_lt=5))
+        assert Match(path_len_gt=2).subsumes(Match(path_len_gt=4))
+        assert not Match(path_len_gt=4).subsumes(Match(path_len_gt=2))
+
+    def test_unsatisfiable_other_is_always_subsumed(self):
+        impossible = Match(path_len_lt=2, path_len_gt=3)
+        assert Match(prefix=P1, from_asn=9).subsumes(impossible)
+
+    def test_from_router_implies_its_asn(self):
+        # Router ids encode the ASN in the high 16 bits (Section 4.5).
+        router_of_as5 = (5 << 16) | 1
+        assert Match(from_asn=5).subsumes(Match(from_router=router_of_as5))
+        assert not Match(from_asn=6).subsumes(Match(from_router=router_of_as5))
+
+    def test_regexes_only_subsume_when_equal(self):
+        assert Match(path_regex="^2 ").subsumes(Match(path_regex="^2 "))
+        # ".*" trivially matches more, but the check is conservative.
+        assert not Match(path_regex=".*").subsumes(Match(path_regex="^2 "))
+
+    def test_subsumption_implies_match_containment(self):
+        # Spot-check the semantic contract on concrete routes.
+        wide = Match(prefix=P1, path_len_lt=5)
+        narrow = Match(prefix=P1, path_len_lt=3, from_asn=1)
+        assert wide.subsumes(narrow)
+        for path in ((1,), (1, 2), (1, 2, 3), (1, 2, 3, 4)):
+            route = make_route(as_path=path)
+            if narrow.matches(route):
+                assert wide.matches(route)
+
+
+class TestRegexCacheBound:
+    def test_cache_never_exceeds_limit(self):
+        from repro.bgp.policy import _REGEX_CACHE, _REGEX_CACHE_LIMIT
+
+        route = make_route()
+        for index in range(_REGEX_CACHE_LIMIT + 50):
+            Match(path_regex=f"^{index} never$").matches(route)
+        assert len(_REGEX_CACHE) <= _REGEX_CACHE_LIMIT
+
+    def test_recently_used_pattern_survives_eviction(self):
+        from repro.bgp.policy import _REGEX_CACHE, _REGEX_CACHE_LIMIT
+
+        route = make_route()
+        hot = "^1 2 3$"
+        Match(path_regex=hot).matches(route)
+        for index in range(_REGEX_CACHE_LIMIT - 1):
+            Match(path_regex=f"^{index} cold$").matches(route)
+            Match(path_regex=hot).matches(route)  # keep it recently used
+        assert hot in _REGEX_CACHE

@@ -76,6 +76,76 @@ class TestRefineAndWhatIf:
         assert "changed pairs" in captured
 
 
+class TestLint:
+    @pytest.fixture(scope="class")
+    def model_file(self, dump_file, tmp_path_factory):
+        path = tmp_path_factory.mktemp("lint") / "model.cbgp"
+        assert main(["refine", str(dump_file), "--out", str(path)]) == 0
+        return path
+
+    def test_clean_model_exits_zero(self, model_file, capsys):
+        code = main(["lint", str(model_file)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "0 errors" in captured
+
+    def test_dump_enables_dataset_rules(self, model_file, dump_file, capsys):
+        code = main(["lint", str(model_file), "--dump", str(dump_file)])
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+
+    def test_json_report_is_machine_readable(self, model_file, capsys):
+        import json
+
+        code = main(["lint", str(model_file), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == payload["exit_code"] == 0
+        assert set(payload["passes"]) == {"safety", "policy", "topology"}
+
+    def test_wheel_config_exits_nonzero_and_names_the_wheel(
+        self, tmp_path, capsys
+    ):
+        import io
+
+        from repro.bgp.network import Network
+        from repro.cbgp.export import export_network
+        from repro.net.prefix import prefix_for_asn
+        from repro.resilience.faults import inject_dispute_wheel
+
+        net = Network("gadget")
+        spokes = {asn: net.add_router(asn) for asn in (1, 2, 3)}
+        hub = net.add_router(4)
+        prefix = prefix_for_asn(4)
+        net.originate(hub, prefix)
+        for router in spokes.values():
+            net.connect(router, hub)
+        for a, b in ((1, 2), (2, 3), (3, 1)):
+            net.connect(spokes[a], spokes[b])
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        buffer = io.StringIO()
+        export_network(net, buffer)
+        config = tmp_path / "wheel.cbgp"
+        config.write_text(buffer.getvalue())
+        code = main(["lint", str(config)])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "safety-dispute-wheel" in captured
+        assert str(prefix) in captured
+
+    def test_missing_model_is_a_data_error(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "nope.cbgp")])
+        assert code == 4
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_pass_is_a_usage_error(self, model_file, capsys):
+        code = main(["lint", str(model_file), "--passes", "sorcery"])
+        assert code == 2
+        assert "unknown analysis passes" in capsys.readouterr().err
+
+    def test_refine_lint_gate_flag_is_accepted(self, dump_file, capsys):
+        assert main(["refine", str(dump_file), "--lint-gate"]) == 0
+
+
 class TestParser:
     def test_no_subcommand_shows_help(self, capsys):
         assert main([]) == 2
