@@ -1,35 +1,16 @@
 """LINT: static analyzer cost vs. model size, emitting BENCH_lint.json."""
 
-import json
-from pathlib import Path
-
-from conftest import publish, run_once
+from conftest import publish, run_once, write_results
 
 from repro.experiments import scaling
 
-RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_lint.json"
 
-
-def test_lint_scaling(benchmark, workload):
+def test_lint_scaling(benchmark, workload, workload_name):
     result = run_once(
         benchmark, scaling.run_lint, workload, factors=(0.25, 0.5, 1.0)
     )
     publish(benchmark, result)
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(
-        json.dumps(
-            {
-                "experiment": result.experiment_id,
-                "title": result.title,
-                "headers": result.headers,
-                "rows": result.rows,
-                "metrics": result.metrics,
-                "notes": result.notes,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-    )
+    write_results("BENCH_lint.json", result, workload_name)
     assert len(result.rows) == 3
     # static analysis must stay orders of magnitude cheaper than simulating
     assert all(result.metrics[f"seconds_x{f}"] < 60 for f in (0.25, 0.5, 1.0))

@@ -1,0 +1,22 @@
+"""OBS: tracing overhead on the engine, emitting BENCH_obs.json.
+
+Quantifies the observability tax: the NullTracer default must stay
+within a few percent of an uninstrumented engine, and the full JSONL
+decision trace should cost a bounded, reported factor.
+"""
+
+from conftest import publish, run_once, write_results
+
+from repro.experiments import obs
+
+
+def test_trace_overhead(benchmark, workload, workload_name):
+    result = run_once(benchmark, obs.run_trace_overhead, workload)
+    publish(benchmark, result)
+    write_results("BENCH_obs.json", result, workload_name)
+    assert result.metrics["seconds_off"] > 0
+    # Tracing must not change what the engine computes.
+    assert result.metrics["messages"] > 0
+    # The JSONL trace writes one event per decision; a run that recorded
+    # nothing means the hooks silently disappeared.
+    assert result.metrics["trace_bytes"] > 0

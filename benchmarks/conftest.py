@@ -9,11 +9,17 @@ the rendered table, printed via ``-s`` and the ``extra_info`` mechanism.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import DEFAULT, LARGE, SMALL, prepare
+from repro.obs.meta import run_metadata
 
 WORKLOADS = {"small": SMALL, "default": DEFAULT, "large": LARGE}
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def pytest_addoption(parser):
@@ -32,6 +38,11 @@ def workload(request):
 
 
 @pytest.fixture(scope="session")
+def workload_name(request):
+    return request.config.getoption("--workload")
+
+
+@pytest.fixture(scope="session")
 def prepared(workload):
     return prepare(workload)
 
@@ -47,3 +58,33 @@ def publish(benchmark, result):
         benchmark.extra_info[key] = value
     print()
     print(result.render())
+
+
+def write_results(filename, result, workload_name=None):
+    """Persist an ExperimentResult under ``results/`` with a metadata stamp.
+
+    Every ``BENCH_*.json`` carries the git sha, interpreter and workload
+    that produced it, so recorded numbers stay attributable.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    meta = run_metadata()
+    if workload_name is not None:
+        meta["workload"] = workload_name
+    path = RESULTS_DIR / filename
+    path.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": result.rows,
+                "metrics": result.metrics,
+                "notes": result.notes,
+                "meta": meta,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return path

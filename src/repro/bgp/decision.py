@@ -78,6 +78,19 @@ class DecisionOutcome:
         """The step that eliminated ``route``, or None if it is the best route."""
         return self.eliminated.get(id(route))
 
+    @property
+    def decisive_step(self) -> Step | None:
+        """The step at which the winner became unique.
+
+        Eliminations happen in step order, so the decisive step is the
+        latest one that removed a candidate.  None when the decision was
+        trivial: no candidates, or a single candidate that never had to
+        beat anything.
+        """
+        if not self.eliminated:
+            return None
+        return max(self.eliminated.values())
+
     def survivors_until(self, step: Step) -> list[Route]:
         """Candidates that were still alive when ``step`` began."""
         return [
@@ -85,6 +98,18 @@ class DecisionOutcome:
             for route in self.candidates
             if id(route) not in self.eliminated or self.eliminated[id(route)] >= step
         ]
+
+
+def step_name(step: Step | None) -> str:
+    """Human-readable kebab-case name for a step (``"only-candidate"`` for None).
+
+    The None case names the degenerate decision: one candidate, nothing
+    to eliminate — what ``repro explain`` prints when a router never had
+    a real choice.
+    """
+    if step is None:
+        return "only-candidate"
+    return step.name.lower().replace("_", "-")
 
 
 IgpCostFn = Callable[[Route], float]

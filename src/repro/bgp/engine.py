@@ -20,12 +20,18 @@ quarantine the prefix (see :mod:`repro.resilience`).
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.bgp.attributes import DEFAULT_LOCAL_PREF, DEFAULT_MED, RouteSource
-from repro.bgp.decision import DecisionConfig, select_best
+from repro.bgp.decision import (
+    DecisionConfig,
+    run_decision,
+    select_best,
+    step_name,
+)
 from repro.bgp.network import Network
 from repro.bgp.route import Route
 from repro.bgp.router import Router
@@ -33,6 +39,15 @@ from repro.bgp.session import Session
 from repro.errors import ConvergenceError
 from repro.net.community import NO_ADVERTISE, NO_EXPORT
 from repro.net.prefix import Prefix
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    EVENT_BUDGET_EXHAUSTED,
+    EVENT_DECISION,
+    Tracer,
+    get_tracer,
+)
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -42,6 +57,14 @@ class EngineStats:
     prefixes: int = 0
     messages: int = 0
     decisions: int = 0
+    budget_exhaustions: int = 0
+    """Times a per-prefix simulation hit its message budget.
+
+    Non-zero means some output was produced by giving up, not by
+    converging: either a quarantined prefix (``diverged``) or a retried
+    attempt.  Health reports and ``repro stats`` surface this so a
+    starved run is visibly reported rather than silently truncated.
+    """
     per_prefix_messages: dict[Prefix, int] = field(default_factory=dict)
     diverged: list[Prefix] = field(default_factory=list)
 
@@ -50,6 +73,7 @@ class EngineStats:
         self.prefixes += other.prefixes
         self.messages += other.messages
         self.decisions += other.decisions
+        self.budget_exhaustions += other.budget_exhaustions
         self.per_prefix_messages.update(other.per_prefix_messages)
         self.diverged.extend(other.diverged)
 
@@ -92,7 +116,13 @@ def simulate(
             network.clear_prefix(prefix)
             stats.prefixes += 1
             stats.messages += error.messages_used
+            stats.budget_exhaustions += 1
+            stats.per_prefix_messages[prefix] = error.messages_used
             stats.diverged.append(prefix)
+            logger.warning(
+                "quarantined %s after %d messages (budget %d)",
+                prefix, error.messages_used, error.budget,
+            )
     return stats
 
 
@@ -111,17 +141,26 @@ def simulate_prefix(
         max_messages = default_message_budget(network)
     network.clear_prefix(prefix)
     stats = EngineStats(prefixes=1)
+    tracer = get_tracer()
     queue: deque[tuple[Session, Route | None]] = deque()
 
     for router_id in sorted(network.originators(prefix)):
         router = network.routers[router_id]
         router.local_routes[prefix] = Route.originate(prefix, router_id)
         network.note_touched(prefix, router_id)
-        _decide_and_export(network, router, prefix, config, queue, stats)
+        _decide_and_export(network, router, prefix, config, queue, stats, tracer)
 
     while queue:
         stats.messages += 1
         if stats.messages > max_messages:
+            get_registry().counter("engine.budget_exhausted").inc()
+            if tracer.enabled:
+                tracer.event(
+                    EVENT_BUDGET_EXHAUSTED,
+                    prefix=str(prefix),
+                    messages=stats.messages,
+                    budget=max_messages,
+                )
             raise ConvergenceError(prefix, stats.messages, max_messages)
         session, announced = queue.popleft()
         receiver = session.dst
@@ -141,9 +180,14 @@ def simulate_prefix(
                 continue
             rib_in[session.session_id] = accepted
         network.note_touched(prefix, receiver.router_id)
-        _decide_and_export(network, receiver, prefix, config, queue, stats)
+        _decide_and_export(network, receiver, prefix, config, queue, stats, tracer)
 
     stats.per_prefix_messages[prefix] = stats.messages
+    registry = get_registry()
+    registry.counter("engine.prefixes").inc()
+    registry.counter("engine.messages").inc(stats.messages)
+    registry.counter("engine.decisions").inc(stats.decisions)
+    registry.histogram("engine.messages_per_prefix").observe(stats.messages)
     return stats
 
 
@@ -185,6 +229,7 @@ def _decide_and_export(
     config: DecisionConfig,
     queue: deque,
     stats: EngineStats,
+    tracer: Tracer,
 ) -> None:
     """Re-run the decision process at ``router`` and propagate any change."""
     stats.decisions += 1
@@ -197,7 +242,24 @@ def _decide_and_export(
                 return 0.0
             return node.igp.cost(router.router_id, route.next_hop)
 
-        best = select_best(candidates, config, igp_cost)
+        if tracer.enabled:
+            # run_decision is behaviourally identical to select_best but
+            # keeps the per-candidate elimination bookkeeping the trace
+            # event reports; the slower path only runs while tracing.
+            outcome = run_decision(candidates, config, igp_cost)
+            best = outcome.best
+            tracer.event(
+                EVENT_DECISION,
+                router=router.name,
+                prefix=str(prefix),
+                candidates=len(candidates),
+                best=list(best.as_path) if best is not None else None,
+                step=step_name(
+                    outcome.decisive_step if len(candidates) > 1 else None
+                ),
+            )
+        else:
+            best = select_best(candidates, config, igp_cost)
     else:
         best = None
 

@@ -193,6 +193,14 @@ class Clause:
     strip_communities: bool = False
     tag: str | None = None
     """Free-form label; the refiner tags its clauses so they can be deleted."""
+    iteration: int | None = None
+    """Refinement iteration that installed this clause, when known.
+
+    Decision provenance for ``repro explain``: a clause consulted during
+    a replay can name the Figure 6 cycle that created it.  Not part of
+    clause identity — the refiner's duplicate-install check deliberately
+    ignores it — and round-trips through the C-BGP dialect (``iter N``)
+    so checkpoints and saved models keep the attribution."""
 
     def apply(self, route: Route) -> Route | None:
         """Apply this clause to ``route``; None means denied.

@@ -108,6 +108,11 @@ def _export_route_map(
             # clauses by tag when clearing/deduplicating policies, so a
             # reloaded (e.g. checkpointed) model must keep them.
             writer.line(f'  tag "{clause.tag}"')
+        if clause.iteration is not None:
+            # Provenance: which refinement iteration installed the clause.
+            # Round-trips so `repro explain` works on saved/checkpointed
+            # models, not only freshly-refined ones.
+            writer.line(f"  iter {clause.iteration}")
         writer.line("  exit")
 
 

@@ -43,6 +43,8 @@ def parse_script(source: TextIO | Iterable[str]) -> Network:
                 pending_rule.action_text = line[len("action ") :].strip().strip('"')
             elif line.startswith("tag "):
                 pending_rule.tag_text = line[len("tag ") :].strip().strip('"')
+            elif line.startswith("iter "):
+                pending_rule.iteration = int(line[len("iter ") :].strip())
             else:
                 raise ParseError(f"unexpected line inside add-rule: {line!r}")
             continue
@@ -125,6 +127,7 @@ class _PendingRule:
         self.match_text = "any"
         self.action_text = "accept"
         self.tag_text = ""
+        self.iteration: int | None = None
 
     def install(self) -> None:
         """Attach the parsed clause to the right session route-map."""
@@ -148,6 +151,7 @@ class _PendingRule:
             Clause(
                 match=_parse_match(self.match_text),
                 tag=self.tag_text or None,
+                iteration=self.iteration,
                 **_parse_action(self.action_text),
             )
         )

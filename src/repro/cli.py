@@ -18,6 +18,16 @@ Subcommands mirror the paper's workflow:
 * ``repro chaos`` — run the pipeline over a deterministically
   fault-injected workload (dispute wheels, corrupted dump lines, session
   flaps, budget exhaustion) and emit a JSON run-health report.
+* ``repro explain`` — replay one prefix of a saved model with tracing
+  forced on and print hop-by-hop decision provenance: candidates, the
+  decision step that selected the winner, and the refinement iteration
+  that installed each policy consulted.
+* ``repro stats`` — render the metrics/metadata slice of a JSON health
+  report (counters, gauges, histogram percentiles, phase timings).
+
+Global flags: ``--log-level`` / ``--log-json`` configure the ``repro``
+logger tree; ``refine`` and ``chaos`` accept ``--trace FILE`` to write a
+JSONL span/event trace of the run.
 
 Exit codes follow :mod:`repro.resilience.health`: 0 ok, 1 refinement
 stalled (or, for ``repro lint``, error findings), 2 usage, 3 diverged
@@ -44,6 +54,11 @@ from repro.data.dumps import read_table_dump, write_table_dump
 from repro.data.observation import collect_dataset, select_observation_points
 from repro.data.synthesis import SyntheticConfig, synthesize_internet
 from repro.errors import CheckpointError, DatasetError, ParseError, TopologyError
+from repro.net.prefix import Prefix
+from repro.obs.logs import LEVELS, configure_logging
+from repro.obs.meta import run_metadata
+from repro.obs.metrics import get_registry
+from repro.obs.trace import JsonlTracer, tracing
 from repro.resilience.faults import FaultConfig
 from repro.resilience.health import EXIT_DATA, RunHealth
 from repro.resilience.retry import RetryPolicy
@@ -58,6 +73,10 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_format=args.log_json)
+    # Handlers stamp run metadata into health reports; remember the exact
+    # invocation even when main() is called programmatically.
+    args.invocation = list(argv) if argv is not None else sys.argv[1:]
     if not hasattr(args, "handler"):
         parser.print_help()
         return 2
@@ -70,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Quasi-router AS-topology modelling (SIGCOMM'06 reproduction)",
     )
+    parser.add_argument("--log-level", choices=LEVELS, default="warning",
+                        help="stdlib logging level for the repro logger tree")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines")
     subparsers = parser.add_subparsers(title="subcommands")
 
     synth = subparsers.add_parser(
@@ -108,6 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     refine.add_argument("--lint-gate", action="store_true",
                         help="statically quarantine dispute-wheel prefixes "
                              "before simulating (zero attempts spent on them)")
+    refine.add_argument("--trace",
+                        help="write a JSONL span/event trace of the run here")
     refine.set_defaults(handler=cmd_refine)
 
     lint = subparsers.add_parser(
@@ -152,7 +177,31 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--health-report",
                        help="write the JSON RunHealth report to this path "
                             "(default: stdout)")
+    chaos.add_argument("--trace",
+                       help="write a JSONL span/event trace of the run here")
     chaos.set_defaults(handler=cmd_chaos)
+
+    explain = subparsers.add_parser(
+        "explain", help="hop-by-hop decision provenance for one prefix"
+    )
+    explain.add_argument("model", help="model config written by 'repro refine --out'")
+    explain.add_argument("prefix", help="canonical model prefix, e.g. 0.10.0.0/24")
+    explain.add_argument("--observer", type=int, metavar="ASN",
+                         help="walk the winning quasi-router chain from this "
+                              "AS to the origin (default: explain every AS)")
+    explain.add_argument("--retry-attempts", type=int, default=3,
+                         help="budget-escalation attempts for the replay")
+    explain.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the explanation as JSON instead of text")
+    explain.set_defaults(handler=cmd_explain)
+
+    stats = subparsers.add_parser(
+        "stats", help="render the metrics slice of a JSON health report"
+    )
+    stats.add_argument("report", help="health report written with --health-report")
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the stats slice as JSON instead of text")
+    stats.set_defaults(handler=cmd_stats)
 
     whatif = subparsers.add_parser("whatif", help="predict a link removal")
     whatif.add_argument("model", help="model config written by 'repro refine --out'")
@@ -232,9 +281,24 @@ def cmd_analyze(args) -> int:
 
 def cmd_refine(args) -> int:
     """Handle ``repro refine``."""
+    health = RunHealth()
+    health.record_meta(
+        run_metadata(argv=getattr(args, "invocation", None), seed=args.split_seed)
+    )
+    get_registry().reset()
+    if args.trace:
+        with tracing(JsonlTracer(args.trace)) as tracer:
+            code = _refine_run(args, health)
+        print(f"wrote {tracer.records_written} trace records to {args.trace}",
+              file=sys.stderr)
+        return code
+    return _refine_run(args, health)
+
+
+def _refine_run(args, health: RunHealth) -> int:
+    """The ``repro refine`` pipeline body (tracing already configured)."""
     from repro.core.refine import RefinementConfig
 
-    health = RunHealth()
     with health.phase("parse"):
         try:
             parsed, _, _, _, _, pruned = _load_pruned(args.dump, [])
@@ -242,6 +306,7 @@ def cmd_refine(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             health.record_error(error)
             if args.health_report:
+                health.record_metrics()
                 health.write(args.health_report)
             return EXIT_DATA
     health.record_parse(parsed)
@@ -281,6 +346,7 @@ def cmd_refine(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             health.record_error(error)
             if args.health_report:
+                health.record_metrics()
                 health.write(args.health_report)
             return EXIT_DATA
     model = result.model  # a resumed run swaps in the checkpointed model
@@ -315,6 +381,7 @@ def cmd_refine(args) -> int:
         with open(args.out, "w", encoding="ascii") as handle:
             export_network(model.network, handle)
         print(f"wrote model config to {args.out}")
+    health.record_metrics()
     if args.health_report:
         health.write(args.health_report)
         print(f"wrote health report to {args.health_report}", file=sys.stderr)
@@ -372,7 +439,18 @@ def cmd_chaos(args) -> int:
         retry=RetryPolicy(max_attempts=max(1, args.retry_attempts)),
         lint_gate=args.lint_gate,
     )
-    health = run_chaos(config)
+    get_registry().reset()
+    if args.trace:
+        with tracing(JsonlTracer(args.trace)) as tracer:
+            health = run_chaos(config)
+        print(f"wrote {tracer.records_written} trace records to {args.trace}",
+              file=sys.stderr)
+    else:
+        health = run_chaos(config)
+    health.record_meta(
+        run_metadata(argv=getattr(args, "invocation", None), seed=args.seed)
+    )
+    health.record_metrics()
     if args.health_report:
         health.write(args.health_report)
         print(f"wrote health report to {args.health_report}", file=sys.stderr)
@@ -391,6 +469,59 @@ def cmd_chaos(args) -> int:
         file=sys.stderr,
     )
     return health.exit_code
+
+
+def cmd_explain(args) -> int:
+    """Handle ``repro explain``."""
+    import json
+
+    from repro.obs.explain import explain_prefix
+
+    try:
+        with open(args.model, "r", encoding="ascii") as handle:
+            network = parse_script(handle)
+        model = ASRoutingModel.from_network(network)
+        prefix = Prefix(args.prefix)
+    except (OSError, ParseError, TopologyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    if args.observer is not None and args.observer not in model.network.ases:
+        print(f"error: observer AS{args.observer} is not in the model",
+              file=sys.stderr)
+        return EXIT_DATA
+    try:
+        explanation = explain_prefix(
+            model,
+            prefix,
+            observer_asn=args.observer,
+            retry=RetryPolicy(max_attempts=max(1, args.retry_attempts)),
+        )
+    except TopologyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    if args.as_json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(explanation.render())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Handle ``repro stats``."""
+    import json
+
+    from repro.obs.stats import health_stats, load_health_report, render_stats
+
+    try:
+        report = load_health_report(args.report)
+    except DatasetError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    if args.as_json:
+        print(json.dumps(health_stats(report), indent=2, sort_keys=True))
+    else:
+        print(render_stats(report))
+    return 0
 
 
 def cmd_whatif(args) -> int:

@@ -26,6 +26,8 @@ Figure 6.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -34,6 +36,14 @@ from repro.bgp.router import Router
 from repro.core.model import MODEL_DECISION_CONFIG, ASRoutingModel
 from repro.errors import CheckpointError, RefinementError
 from repro.net.prefix import Prefix
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    EVENT_LINT_QUARANTINE,
+    EVENT_POLICY_DELETE,
+    EVENT_POLICY_INSTALL,
+    EVENT_ROUTER_DUPLICATE,
+    get_tracer,
+)
 from repro.resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
@@ -50,6 +60,8 @@ FILTER_TAG = "refine-filter"
 RANK_TAG = "refine-rank"
 MED_PREFERRED = 0
 MED_OTHER = 50
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -225,6 +237,12 @@ class Refiner:
                 break
             if not stats.changed or stale_iterations >= self.config.patience:
                 break
+        logger.info(
+            "refinement %s after %d iteration(s), final match rate %.1f%%",
+            "converged" if result.converged else "stalled",
+            result.iteration_count,
+            100.0 * result.final_match_rate,
+        )
         return result
 
     def _restore_checkpoint(
@@ -265,6 +283,7 @@ class Refiner:
         self._gate_applied = True
         from repro.analysis.safety import unsafe_prefixes
 
+        tracer = get_tracer()
         for prefix in unsafe_prefixes(self.model.network):
             self.model.network.clear_prefix(prefix)
             self.gated_prefixes.append(prefix)
@@ -272,6 +291,12 @@ class Refiner:
             origin = self.model.origin_by_prefix.get(prefix)
             if origin is not None:
                 self.targets.pop(origin, None)
+            get_registry().counter("refine.lint_quarantined").inc()
+            if tracer.enabled:
+                tracer.event(
+                    EVENT_LINT_QUARANTINE, prefix=str(prefix), origin=origin
+                )
+            logger.warning("lint gate quarantined %s (origin AS%s)", prefix, origin)
 
     def _simulate_all(self) -> None:
         """Simulate every non-gated prefix, honouring the retry policy."""
@@ -321,23 +346,41 @@ class Refiner:
     def run_iteration(self, iteration: int = 0) -> IterationStats:
         """One Figure 6 cycle: grade paths, apply fixes, re-simulate."""
         stats = IterationStats(iteration=iteration)
-        dirty: set[int] = set()
-        for origin in sorted(self.targets):
-            prefix = self.model.canonical_prefix(origin)
-            reserved: dict[int, tuple[int, ...]] = {}
-            origin_changed = False
-            for path in self.targets[origin]:
-                stats.paths_total += 1
-                matched, changed = self._process_path(
-                    prefix, path, reserved, stats
-                )
-                stats.paths_matched += matched
-                origin_changed |= changed
-            if origin_changed:
-                dirty.add(origin)
-        for origin in sorted(dirty):
-            self._simulate_origin(origin)
-            stats.prefixes_resimulated += 1
+        started = time.perf_counter()
+        with get_tracer().span("refine-iteration", iteration=iteration):
+            dirty: set[int] = set()
+            for origin in sorted(self.targets):
+                prefix = self.model.canonical_prefix(origin)
+                reserved: dict[int, tuple[int, ...]] = {}
+                origin_changed = False
+                for path in self.targets[origin]:
+                    stats.paths_total += 1
+                    matched, changed = self._process_path(
+                        prefix, path, reserved, stats
+                    )
+                    stats.paths_matched += matched
+                    origin_changed |= changed
+                if origin_changed:
+                    dirty.add(origin)
+            for origin in sorted(dirty):
+                self._simulate_origin(origin)
+                stats.prefixes_resimulated += 1
+        registry = get_registry()
+        registry.counter("refine.iterations").inc()
+        registry.counter("refine.policies_installed").inc(stats.policies_installed)
+        registry.counter("refine.routers_added").inc(stats.routers_added)
+        registry.counter("refine.filters_deleted").inc(stats.filters_deleted)
+        registry.histogram("refine.iteration_seconds").observe(
+            time.perf_counter() - started
+        )
+        registry.gauge("refine.match_rate").set(stats.match_rate)
+        logger.debug(
+            "iteration %d: %d/%d paths matched, %d policies, %d routers added, "
+            "%d filters deleted, %d prefixes re-simulated",
+            iteration, stats.paths_matched, stats.paths_total,
+            stats.policies_installed, stats.routers_added,
+            stats.filters_deleted, stats.prefixes_resimulated,
+        )
         return stats
 
     def unmatched_paths(self) -> list[tuple[int, tuple[int, ...]]]:
@@ -445,6 +488,17 @@ class Refiner:
                 source = min(learning, key=lambda router: router.router_id)
                 clone = self.model.network.duplicate_router(source)
                 stats.routers_added += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        EVENT_ROUTER_DUPLICATE,
+                        asn=asn,
+                        source=source.name,
+                        clone=clone.name,
+                        prefix=str(prefix),
+                        target=list(target),
+                        iteration=stats.iteration,
+                    )
                 if self.config.allow_policies:
                     self._install_policies(clone, prefix, target, reserved, stats)
                 else:
@@ -505,6 +559,7 @@ class Refiner:
         ):
             return False
         self._clear_refine_clauses(router, prefix)
+        installed = 0
         for session in router.sessions_in:
             if not session.is_ebgp:
                 continue
@@ -514,9 +569,10 @@ class Refiner:
                         Match(prefix=prefix, path_len_lt=length),
                         Action.DENY,
                         tag=FILTER_TAG,
+                        iteration=stats.iteration,
                     )
                 )
-                stats.policies_installed += 1
+                installed += 1
             if self.config.install_ranking:
                 if preferred_router is not None:
                     is_preferred = session.src.router_id == preferred_router
@@ -528,9 +584,21 @@ class Refiner:
                         Action.PERMIT,
                         set_med=MED_PREFERRED if is_preferred else MED_OTHER,
                         tag=RANK_TAG,
+                        iteration=stats.iteration,
                     )
                 )
-                stats.policies_installed += 1
+                installed += 1
+        stats.policies_installed += installed
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_POLICY_INSTALL,
+                router=router.name,
+                prefix=str(prefix),
+                target=list(target),
+                clauses=installed,
+                iteration=stats.iteration,
+            )
         return True
 
     def _policies_already_installed(
@@ -623,4 +691,15 @@ class Refiner:
                     and clause.match.path_len_lt > length
                 )
         stats.filters_deleted += removed
+        if removed:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    EVENT_POLICY_DELETE,
+                    asn=asn,
+                    prefix=str(prefix),
+                    target=list(target),
+                    removed=removed,
+                    iteration=stats.iteration,
+                )
         return removed > 0

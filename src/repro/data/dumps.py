@@ -12,6 +12,7 @@ mirroring the paper's preprocessing.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, TextIO
@@ -26,6 +27,8 @@ SNAPSHOT_TIME = 1131867000
 """Sun Nov 13 2005 07:30 UTC — the paper's snapshot instant."""
 
 _RECORD_TYPE = "TABLE_DUMP2"
+
+logger = logging.getLogger(__name__)
 
 
 def write_table_dump(
@@ -157,5 +160,10 @@ def read_table_dump(
             f"{result.lines} lines malformed "
             f"(+{result.skipped_as_set} AS_SET skips) exceeds the "
             f"{max_malformed_fraction:.0%} threshold"
+        )
+    if result.skipped_malformed or result.skipped_as_set:
+        logger.warning(
+            "dump read: %d lines, skipped %d malformed, %d AS_SET",
+            result.lines, result.skipped_malformed, result.skipped_as_set,
         )
     return result

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig2,
     fig3,
     fig8,
+    obs,
     table1,
     table2,
     table3,
@@ -51,5 +52,6 @@ __all__ = [
     "table5",
     "ablations",
     "chaos",
+    "obs",
     "scaling",
 ]

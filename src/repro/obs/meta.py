@@ -1,0 +1,55 @@
+"""Run metadata: what produced this report / benchmark result.
+
+A health report or a ``results/BENCH_*.json`` file is only evidence if
+it is attributable: which commit, which interpreter, which CLI
+invocation, which seed.  :func:`run_metadata` collects exactly that,
+degrading gracefully (``git_sha`` is None outside a git checkout — e.g.
+an installed wheel — rather than failing the run it describes).
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """The HEAD commit of the checkout containing ``cwd`` (None if no git)."""
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
+def run_metadata(
+    argv: list[str] | None = None, seed: int | None = None
+) -> dict[str, Any]:
+    """The attribution stamp for a run.
+
+    ``argv`` is the CLI argument vector of the invocation (defaults to
+    ``sys.argv``); ``seed`` is the workload seed when the caller has one.
+    """
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": git_sha(),
+        "argv": list(argv) if argv is not None else list(sys.argv),
+        "seed": seed,
+    }

@@ -1,0 +1,167 @@
+"""A metrics registry: counters, gauges and quantile histograms.
+
+Replaces ad-hoc counting scattered through the engine and resilience
+layers with one named, snapshottable registry.  Instruments are created
+on first use (``registry.counter("engine.messages")``), accumulate for
+the lifetime of the registry, and serialise through :meth:`snapshot`
+into :class:`~repro.resilience.health.RunHealth` reports, where
+``repro stats`` renders them.
+
+Hot paths hold on to the instrument object rather than looking it up per
+observation; an increment is then one integer add.  Like the simulation
+engine, the registry is single-threaded by design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A distribution summarised as count/sum/min/max and p50/p95/p99.
+
+    Observations are kept exactly (runs observe thousands of values, not
+    millions: one per prefix or per iteration), so the reported
+    percentiles are true order statistics, not bucket approximations.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank), 0 when empty."""
+        if not self.values:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """The snapshot form: count, sum, min/max and the three quantiles."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(min(self.values), 6),
+            "max": round(max(self.values), 6),
+            "p50": round(self.percentile(50), 6),
+            "p95": round(self.percentile(95), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at 0 if new)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created at 0 if new)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created empty if new)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run starts from zero)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (None installs a fresh empty one).
+
+    Returns the previously-installed registry so callers can restore it.
+    """
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry if registry is not None else MetricsRegistry()
+    return previous

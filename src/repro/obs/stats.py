@@ -1,0 +1,100 @@
+"""Render the metrics section of a health report (``repro stats``).
+
+A :class:`~repro.resilience.health.RunHealth` JSON report carries a
+``metrics`` snapshot (see :class:`~repro.obs.metrics.MetricsRegistry`)
+plus ``meta`` and per-phase timings.  ``repro stats`` extracts and
+renders that slice so operators can read counters and latency
+percentiles without spelunking the full report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DatasetError
+
+_HISTO_COLUMNS = ("count", "sum", "min", "max", "p50", "p95", "p99")
+
+
+def load_health_report(path: str | Path) -> dict:
+    """Read a RunHealth JSON report, raising ``DatasetError`` when unusable."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise DatasetError(f"cannot read health report {path}: {error}") from error
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DatasetError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(report, dict):
+        raise DatasetError(f"{path} is not a health report (expected an object)")
+    return report
+
+
+def health_stats(report: dict) -> dict:
+    """The stats slice of a health report (``repro stats --json``)."""
+    return {
+        "meta": report.get("meta"),
+        "phases_seconds": report.get("phases_seconds") or {},
+        "metrics": report.get("metrics")
+        or {"counters": {}, "gauges": {}, "histograms": {}},
+        "exit_code": report.get("exit_code"),
+    }
+
+
+def render_stats(report: dict) -> str:
+    """Text rendering of the stats slice for the terminal."""
+    stats = health_stats(report)
+    lines: list[str] = []
+    meta = stats["meta"]
+    if meta:
+        lines.append("run:")
+        for key in ("repro_version", "python", "platform", "git_sha", "seed"):
+            if meta.get(key) is not None:
+                lines.append(f"  {key:<16} {meta[key]}")
+        if meta.get("argv"):
+            lines.append(f"  {'argv':<16} {' '.join(map(str, meta['argv']))}")
+    phases = stats["phases_seconds"]
+    if phases:
+        lines.append("phases:")
+        for name, seconds in phases.items():
+            lines.append(f"  {name:<16} {seconds:.3f}s")
+    metrics = stats["metrics"]
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<32} {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<32} {gauges[name]:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            summary = histograms[name]
+            if not summary.get("count"):
+                lines.append(f"  {name:<32} (empty)")
+                continue
+            cells = "  ".join(
+                f"{column}={_format(summary[column])}"
+                for column in _HISTO_COLUMNS
+                if column in summary
+            )
+            lines.append(f"  {name}:")
+            lines.append(f"    {cells}")
+    if not (counters or gauges or histograms):
+        lines.append("metrics: (none recorded — re-run with a recent repro)")
+    if stats["exit_code"] is not None:
+        lines.append(f"exit_code: {stats['exit_code']}")
+    return "\n".join(lines)
+
+
+def _format(value) -> str:
+    """Compact number formatting for histogram cells."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +27,8 @@ from repro.cbgp.parse import parse_script
 from repro.errors import CheckpointError, ParseError
 
 CHECKPOINT_FORMAT = "repro/refiner-checkpoint/v1"
+
+logger = logging.getLogger(__name__)
 
 
 def training_fingerprint(targets: dict[int, list[tuple[int, ...]]]) -> str:
@@ -98,6 +101,7 @@ def save_checkpoint(
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(document), encoding="ascii")
     os.replace(tmp, path)
+    logger.debug("checkpointed iteration %d to %s", iteration, path)
 
 
 def load_checkpoint(path: str | Path) -> RefinerCheckpoint:

@@ -47,6 +47,8 @@ class RunHealth:
     lint: dict | None = None
     simulation: dict | None = None
     refinement: dict | None = None
+    metrics: dict | None = None
+    meta: dict | None = None
     errors: list[str] = field(default_factory=list)
 
     @contextmanager
@@ -112,6 +114,30 @@ class RunHealth:
                 for origin, path in unmatched[:UNMATCHED_LIMIT]
             ]
 
+    def record_metrics(self, registry=None) -> None:
+        """Snapshot a :class:`~repro.obs.metrics.MetricsRegistry` in.
+
+        Defaults to the process-global registry; ``repro stats`` renders
+        this section of the report.
+        """
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        self.metrics = registry.snapshot()
+
+    def record_meta(self, meta: dict | None = None) -> None:
+        """Stamp run metadata (git sha, versions, argv, seed) in.
+
+        Defaults to :func:`repro.obs.meta.run_metadata`, so every health
+        report says exactly which code and invocation produced it.
+        """
+        if meta is None:
+            from repro.obs.meta import run_metadata
+
+            meta = run_metadata()
+        self.meta = meta
+
     @property
     def diverged_prefixes(self) -> list[str]:
         """Quarantined prefixes, if a simulation phase was recorded.
@@ -150,6 +176,8 @@ class RunHealth:
             "lint": self.lint,
             "simulation": self.simulation,
             "refinement": self.refinement,
+            "metrics": self.metrics,
+            "meta": self.meta,
             "errors": list(self.errors),
             "exit_code": self.exit_code,
         }

@@ -14,6 +14,7 @@ never be overshot by more than one attempt: there is no way to hang.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -23,6 +24,10 @@ from repro.bgp.engine import EngineStats, default_message_budget, simulate_prefi
 from repro.bgp.network import Network
 from repro.errors import ConvergenceError
 from repro.net.prefix import Prefix
+from repro.obs.metrics import get_registry
+from repro.obs.trace import EVENT_QUARANTINE, EVENT_RETRY, get_tracer
+
+logger = logging.getLogger(__name__)
 
 CONVERGED = "converged"
 TRANSIENT = "transient"
@@ -126,6 +131,7 @@ class ResilienceStats:
         return {
             "prefixes": len(self.outcomes),
             "messages": self.engine.messages,
+            "budget_exhaustions": self.engine.budget_exhaustions,
             "attempts": self.attempts,
             "retries": self.retries,
             "converged": sum(1 for o in self.outcomes if o.status == CONVERGED),
@@ -149,6 +155,8 @@ def simulate_prefix_with_retry(
     cleared (quarantine) and the stats record it in ``diverged``.
     """
     started = time.monotonic()
+    tracer = get_tracer()
+    registry = get_registry()
     budget = policy.first_budget(network)
     spent = 0
     attempt = 0
@@ -168,15 +176,52 @@ def simulate_prefix_with_retry(
             if out_of_attempts or out_of_budget or out_of_time:
                 network.clear_prefix(prefix)
                 stats = EngineStats(prefixes=1, messages=spent)
+                # Every attempt hit its budget; the accounting must say
+                # so even though the per-attempt stats were discarded.
+                stats.budget_exhaustions = attempt
+                stats.per_prefix_messages[prefix] = spent
                 stats.diverged.append(prefix)
+                registry.counter("retry.quarantined").inc()
+                registry.histogram("retry.attempts_per_prefix").observe(attempt)
+                if tracer.enabled:
+                    tracer.event(
+                        EVENT_QUARANTINE,
+                        prefix=str(prefix),
+                        attempts=attempt,
+                        messages=spent,
+                        final_budget=budget,
+                    )
+                logger.warning(
+                    "quarantined %s as diverged: %d attempts, %d messages, "
+                    "final budget %d",
+                    prefix, attempt, spent, budget,
+                )
                 return stats, PrefixOutcome(
                     prefix, DIVERGED, attempt, spent, budget, elapsed
                 )
-            budget = policy.next_budget(budget)
+            next_budget = policy.next_budget(budget)
+            registry.counter("retry.retries").inc()
+            if tracer.enabled:
+                tracer.event(
+                    EVENT_RETRY,
+                    prefix=str(prefix),
+                    attempt=attempt,
+                    budget=budget,
+                    next_budget=next_budget,
+                )
+            logger.debug(
+                "retrying %s: attempt %d exhausted budget %d, escalating to %d",
+                prefix, attempt, budget, next_budget,
+            )
+            budget = next_budget
             continue
         elapsed = time.monotonic() - started
         status = CONVERGED if attempt == 1 else TRANSIENT
         spent += stats.messages
+        # Failed earlier attempts each exhausted a budget before this one
+        # converged; fold that into the surviving attempt's stats.
+        stats.budget_exhaustions += attempt - 1
+        registry.histogram("retry.attempts_per_prefix").observe(attempt)
         return stats, PrefixOutcome(prefix, status, attempt, spent, budget, elapsed)
 
 

@@ -156,3 +156,67 @@ class TestAggregation:
         ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
         counts = evaluate_agreement(diamond_model, ds)
         assert sum(counts.values()) == 2
+
+
+class TestMatchReportHelpers:
+    """Direct coverage of the rate/coverage arithmetic (no model needed)."""
+
+    @staticmethod
+    def report(rib_out=0, potential=0, rib_in=0, none=0):
+        report = MatchReport()
+        report.counts[MatchKind.RIB_OUT] = rib_out
+        report.counts[MatchKind.POTENTIAL_RIB_OUT] = potential
+        report.counts[MatchKind.RIB_IN] = rib_in
+        report.counts[MatchKind.NONE] = none
+        return report
+
+    def test_rate_per_kind(self):
+        report = self.report(rib_out=2, potential=1, rib_in=1, none=4)
+        assert report.total == 8
+        assert report.rate(MatchKind.RIB_OUT) == 0.25
+        assert report.rate(MatchKind.NONE) == 0.5
+
+    def test_tie_break_or_better_combines_two_kinds(self):
+        report = self.report(rib_out=3, potential=1, rib_in=4)
+        assert report.tie_break_or_better_rate == 0.5
+
+    def test_rib_in_or_better_is_complement_of_none(self):
+        report = self.report(rib_out=1, rib_in=1, none=2)
+        assert report.rib_in_or_better_rate == 0.5
+
+    def test_empty_report_rates_are_zero_not_nan(self):
+        report = self.report()
+        assert report.total == 0
+        assert report.rate(MatchKind.RIB_OUT) == 0.0
+        assert report.tie_break_or_better_rate == 0.0
+        assert report.rib_in_or_better_rate == 0.0
+
+    def test_coverage_thresholds(self):
+        report = self.report()
+        report.coverage_by_origin = {
+            4: (2, 2),   # 100%
+            5: (9, 10),  # 90%
+            6: (1, 2),   # 50%
+            7: (0, 3),   # 0%
+        }
+        assert report.origin_count == 4
+        assert report.prefixes_with_coverage(1.0) == 1
+        assert report.prefixes_with_coverage(0.9) == 2
+        assert report.prefixes_with_coverage(0.5) == 3
+        assert report.prefixes_with_coverage(0.0) == 4
+
+    def test_coverage_ignores_empty_origins(self):
+        report = self.report()
+        report.coverage_by_origin = {4: (0, 0)}
+        assert report.prefixes_with_coverage(0.0) == 0
+
+    def test_coverage_summary_fractions(self):
+        report = self.report()
+        report.coverage_by_origin = {4: (2, 2), 5: (1, 2)}
+        summary = report.coverage_summary()
+        assert summary["100%"] == 0.5
+        assert summary[">=50%"] == 1.0
+
+    def test_coverage_summary_empty_is_all_zero(self):
+        summary = self.report().coverage_summary()
+        assert summary == {">=50%": 0.0, ">=90%": 0.0, "100%": 0.0}

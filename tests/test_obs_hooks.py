@@ -1,0 +1,212 @@
+"""Tests for the trace/metrics hooks in engine, retry and refine.
+
+Covers satellite (c): budget-exhaustion accounting must be visible —
+a starved ``simulate_prefix`` is reported through a trace event, a
+registry counter and ``EngineStats.budget_exhaustions``, never silently
+truncated.
+"""
+
+import pytest
+
+from repro.bgp.engine import EngineStats, simulate, simulate_prefix
+from repro.bgp.network import Network
+from repro.core.build import build_initial_model
+from repro.core.refine import RefinementConfig, Refiner
+from repro.errors import ConvergenceError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import (
+    EVENT_BUDGET_EXHAUSTED,
+    EVENT_DECISION,
+    EVENT_POLICY_INSTALL,
+    EVENT_RETRY,
+    RecordingTracer,
+    tracing,
+)
+from repro.resilience.faults import inject_dispute_wheel
+from repro.resilience.retry import (
+    RetryPolicy,
+    simulate_network_with_retry,
+    simulate_prefix_with_retry,
+)
+from repro.topology.dataset import ObservedRoute, PathDataset
+
+
+@pytest.fixture
+def registry():
+    """A fresh global registry for the duration of one test."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def line_network(length=4):
+    """AS1 - AS2 - ... - ASn chain originating at ASn."""
+    net = Network("line")
+    routers = [net.add_router(asn) for asn in range(1, length + 1)]
+    for left, right in zip(routers, routers[1:]):
+        net.connect(left, right)
+    prefix = Prefix("10.0.0.0/24")
+    net.originate(routers[-1], prefix)
+    return net, prefix
+
+
+class TestBudgetExhaustionVisibility:
+    def test_starved_simulation_raises_with_counter_and_event(self, registry):
+        net, prefix = line_network()
+        tracer = RecordingTracer()
+        with tracing(tracer):
+            with pytest.raises(ConvergenceError):
+                simulate_prefix(net, prefix, max_messages=1)
+        assert registry.counter("engine.budget_exhausted").value == 1
+        (event,) = tracer.events(EVENT_BUDGET_EXHAUSTED)
+        assert event["prefix"] == str(prefix)
+        assert event["budget"] == 1
+        assert event["messages"] > event["budget"]
+
+    def test_quarantine_mode_reports_in_stats(self, registry):
+        net, prefix = line_network()
+        stats = simulate(net, max_messages=1, on_divergence="quarantine")
+        assert stats.budget_exhaustions == 1
+        assert stats.diverged == [prefix]
+        assert stats.per_prefix_messages[prefix] > 1
+
+    def test_retry_accounts_every_failed_attempt(self, registry):
+        net, prefix = line_network(length=5)
+        policy = RetryPolicy(max_attempts=5, initial_budget=1, budget_growth=4.0)
+        tracer = RecordingTracer()
+        with tracing(tracer):
+            stats, outcome = simulate_prefix_with_retry(
+                net, prefix, policy=policy
+            )
+        assert outcome.attempts > 1
+        # every attempt before the surviving one exhausted a budget
+        assert stats.budget_exhaustions == outcome.attempts - 1
+        assert len(tracer.events(EVENT_RETRY)) == outcome.attempts - 1
+        assert registry.counter("retry.retries").value == outcome.attempts - 1
+
+    def test_diverged_prefix_reports_all_attempts(self, registry):
+        # triangle 1-2-3 around an originating hub AS4: the classic gadget
+        net = Network("gadget")
+        spokes = {asn: net.add_router(asn) for asn in (1, 2, 3)}
+        hub = net.add_router(4)
+        prefix = Prefix("10.0.0.0/24")
+        net.originate(hub, prefix)
+        for router in spokes.values():
+            net.connect(router, hub)
+        for a, b in ((1, 2), (2, 3), (3, 1)):
+            net.connect(spokes[a], spokes[b])
+        inject_dispute_wheel(net, prefix, (1, 2, 3))
+        policy = RetryPolicy(max_attempts=2, initial_budget=50, budget_cap=100)
+        stats, outcome = simulate_prefix_with_retry(net, prefix, policy=policy)
+        assert outcome.status == "diverged"
+        assert stats.budget_exhaustions == outcome.attempts
+        assert registry.counter("retry.quarantined").value == 1
+
+    def test_budget_exhaustions_surface_in_resilience_to_dict(self, registry):
+        net, prefix = line_network()
+        result = simulate_network_with_retry(
+            net, policy=RetryPolicy(max_attempts=3, initial_budget=1)
+        )
+        document = result.to_dict()
+        assert "budget_exhaustions" in document
+        assert document["budget_exhaustions"] == result.engine.budget_exhaustions
+        assert document["budget_exhaustions"] > 0
+
+    def test_stats_merge_folds_exhaustions(self):
+        a = EngineStats(budget_exhaustions=2)
+        a.merge(EngineStats(budget_exhaustions=3))
+        assert a.budget_exhaustions == 5
+
+
+class TestEngineTracing:
+    def test_decision_events_emitted_while_tracing(self):
+        net, prefix = line_network()
+        tracer = RecordingTracer()
+        with tracing(tracer):
+            simulate_prefix(net, prefix)
+        events = tracer.events(EVENT_DECISION)
+        assert events
+        assert all(e["prefix"] == str(prefix) for e in events)
+        routers = {e["router"] for e in events}
+        assert "AS1.r1" in routers
+
+    def test_tracing_does_not_change_results(self, registry):
+        net_plain, prefix = line_network(length=5)
+        plain = simulate_prefix(net_plain, prefix)
+        net_traced, _ = line_network(length=5)
+        with tracing(RecordingTracer()):
+            traced = simulate_prefix(net_traced, prefix)
+        assert plain.messages == traced.messages
+        assert plain.decisions == traced.decisions
+        for router_id, router in net_plain.routers.items():
+            mine = router.best(prefix)
+            theirs = net_traced.routers[router_id].best(prefix)
+            assert (mine is None) == (theirs is None)
+            if mine is not None:
+                assert mine.as_path == theirs.as_path
+
+    def test_engine_metrics_recorded(self, registry):
+        net, prefix = line_network()
+        simulate_prefix(net, prefix)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["engine.prefixes"] == 1
+        assert snapshot["counters"]["engine.messages"] > 0
+        assert snapshot["histograms"]["engine.messages_per_prefix"]["count"] == 1
+
+
+class TestRefineObservability:
+    @staticmethod
+    def _training():
+        P = Prefix("10.0.0.0/24")
+        full = PathDataset()
+        for index, path in enumerate(((1, 3, 4), (1, 2, 4))):
+            full.add(ObservedRoute(f"p{index}", path[0], P, ASPath(path)))
+        training = PathDataset()
+        training.add(ObservedRoute("t0", 1, P, ASPath((1, 3, 4))))
+        return full, training
+
+    def test_iteration_spans_and_install_events(self, registry):
+        full, training = self._training()
+        model = build_initial_model(full)
+        tracer = RecordingTracer()
+        with tracing(tracer):
+            result = Refiner(model, training, RefinementConfig()).run()
+        assert result.converged
+        spans = tracer.spans("refine-iteration")
+        assert len(spans) == result.iteration_count
+        installs = tracer.events(EVENT_POLICY_INSTALL)
+        assert installs
+        assert all(e["iteration"] >= 1 for e in installs)
+
+    def test_refine_metrics_recorded(self, registry):
+        full, training = self._training()
+        model = build_initial_model(full)
+        result = Refiner(model, training, RefinementConfig()).run()
+        snapshot = registry.snapshot()
+        assert (
+            snapshot["counters"]["refine.iterations"] == result.iteration_count
+        )
+        assert snapshot["counters"]["refine.policies_installed"] > 0
+        assert snapshot["gauges"]["refine.match_rate"] == 1.0
+        assert (
+            snapshot["histograms"]["refine.iteration_seconds"]["count"]
+            == result.iteration_count
+        )
+
+    def test_installed_clauses_stamped_with_iteration(self, registry):
+        full, training = self._training()
+        model = build_initial_model(full)
+        Refiner(model, training, RefinementConfig()).run()
+        stamped = [
+            clause.iteration
+            for session in model.network.sessions.values()
+            for route_map in (session.import_map, session.export_map)
+            if route_map is not None
+            for clause in route_map.clauses()
+            if clause.tag is not None
+        ]
+        assert stamped
+        assert all(iteration >= 1 for iteration in stamped)

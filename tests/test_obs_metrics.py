@@ -1,0 +1,97 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_percentiles_are_order_statistics(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(95) == 95
+        assert histogram.percentile(99) == 99
+        assert histogram.percentile(100) == 100
+        assert histogram.percentile(0) == 1
+
+    def test_histogram_summary(self):
+        histogram = Histogram("h")
+        for value in (4.0, 1.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 8.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 3.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.summary() == {"count": 0}
+        assert histogram.percentile(50) == 0.0
+
+    def test_percentile_out_of_range(self):
+        histogram = Histogram("h")
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_is_sorted_and_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("rate").set(0.5)
+        registry.histogram("lat").observe(1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["counters"]["z"] == 2
+        assert snapshot["gauges"]["rate"] == 0.5
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert bool(registry)
+        registry.reset()
+        assert not registry
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_global_registry_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -1,0 +1,129 @@
+"""Unit tests for the structured trace layer (repro.obs.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    EVENT_DECISION,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestNullTracer:
+    def test_is_the_default(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer().enabled is False
+
+    def test_operations_are_noops(self):
+        tracer = NullTracer()
+        tracer.event(EVENT_DECISION, router="r1")
+        with tracer.span("phase") as span_id:
+            assert span_id == 0
+        tracer.close()
+
+    def test_span_is_allocation_free(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestRecordingTracer:
+    def test_event_records_type_and_fields(self):
+        tracer = RecordingTracer()
+        tracer.event(EVENT_DECISION, router="AS1.r1", candidates=2)
+        (event,) = tracer.events()
+        assert event["kind"] == "event"
+        assert event["type"] == EVENT_DECISION
+        assert event["router"] == "AS1.r1"
+        assert event["candidates"] == 2
+        assert event["span"] is None
+
+    def test_spans_nest_and_stamp_events(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                tracer.event("tick")
+        outer, inner = tracer.spans()
+        assert outer["parent"] is None
+        assert inner["parent"] == outer_id
+        (event,) = tracer.events("tick")
+        assert event["span"] == inner_id
+        ends = [r for r in tracer.records if r["kind"] == "span-end"]
+        assert [end["span"] for end in ends] == [inner_id, outer_id]
+        assert all(end["elapsed"] >= 0 for end in ends)
+
+    def test_span_ids_are_unique(self):
+        tracer = RecordingTracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [record["span"] for record in tracer.spans()]
+        assert len(set(ids)) == 2
+
+    def test_filters_by_name_and_type(self):
+        tracer = RecordingTracer()
+        with tracer.span("keep"):
+            tracer.event("x")
+            tracer.event("y")
+        assert len(tracer.spans("keep")) == 1
+        assert tracer.spans("other") == []
+        assert len(tracer.events("x")) == 1
+
+
+class TestJsonlTracer:
+    def test_writes_one_json_object_per_line(self):
+        sink = io.StringIO()
+        tracer = JsonlTracer(sink)
+        with tracer.span("phase", detail=1):
+            tracer.event("tick", n=3)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 3 == tracer.records_written
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["span-start", "event", "span-end"]
+
+    def test_path_sink_owned_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.event("tick")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["type"] == "tick"
+
+    def test_stream_sink_left_open(self):
+        sink = io.StringIO()
+        tracer = JsonlTracer(sink)
+        tracer.event("tick")
+        tracer.close()
+        assert not sink.closed
+
+
+class TestTracingContext:
+    def test_installs_and_restores(self):
+        tracer = RecordingTracer()
+        before = get_tracer()
+        with tracing(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing(RecordingTracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        previous = set_tracer(RecordingTracer())
+        try:
+            set_tracer(None)
+            assert isinstance(get_tracer(), NullTracer)
+        finally:
+            set_tracer(previous)

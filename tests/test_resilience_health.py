@@ -109,6 +109,47 @@ class TestRunHealth:
         assert document["simulation"]["diverged"] == ["10.0.0.0/24"]
 
 
+class TestExitCodeEdgeCases:
+    def test_empty_health_is_exit_ok(self):
+        health = RunHealth()
+        assert health.exit_code == EXIT_OK
+        assert health.diverged_prefixes == []
+
+    def test_unsafe_only_prefixes_map_to_diverged(self):
+        health = RunHealth()
+        outcome = PrefixOutcome.gated(Prefix("10.0.0.0/24"))
+        health.record_simulation(ResilienceStats(outcomes=[outcome]))
+        assert health.diverged_prefixes == ["10.0.0.0/24"]
+        assert health.exit_code == EXIT_DIVERGED
+
+    def test_divergence_outranks_converged_refinement(self):
+        health = RunHealth()
+        health.record_refinement(refinement_result(converged=True))
+        health.record_simulation(diverged_stats(Prefix("10.0.0.0/24")))
+        assert health.exit_code == EXIT_DIVERGED
+
+    def test_clean_simulation_keeps_exit_ok(self):
+        health = RunHealth()
+        health.record_simulation(ResilienceStats())
+        assert health.exit_code == EXIT_OK
+
+    def test_error_outranks_divergence_even_recorded_later(self):
+        health = RunHealth()
+        health.record_error(RuntimeError("boom"))
+        health.record_simulation(diverged_stats(Prefix("10.0.0.0/24")))
+        assert health.exit_code == EXIT_DATA
+        assert health.to_dict()["errors"] == ["boom"]
+
+    def test_metrics_and_meta_default_and_serialise(self):
+        health = RunHealth()
+        health.record_metrics()  # defaults to the global registry
+        health.record_meta()  # defaults to run_metadata()
+        document = health.to_dict()
+        assert set(document["metrics"]) == {"counters", "gauges", "histograms"}
+        assert document["meta"]["repro_version"]
+        assert isinstance(document["meta"]["argv"], list)
+
+
 class TestChaosPipeline:
     def test_faulted_run_quarantines_and_reports(self):
         health = run_chaos(FAST_CHAOS)
