@@ -1,0 +1,18 @@
+"""PAR: supervised-pool speedup vs. sequential, emitting BENCH_parallel.json."""
+
+from conftest import publish, run_once, write_results
+
+from repro.experiments import parallelism
+
+
+def test_parallel_speedup(benchmark, workload, workload_name):
+    result = run_once(
+        benchmark, parallelism.run, workload, worker_counts=(2, 4)
+    )
+    publish(benchmark, result)
+    write_results("BENCH_parallel.json", result, workload_name)
+    assert len(result.rows) == 3  # sequential + 2 worker counts
+    assert result.metrics["cpu_count"] >= 1
+    # Correctness is asserted inside the experiment (identical outcomes);
+    # speedup itself is hardware-dependent and recorded, not asserted.
+    assert result.metrics["seconds_sequential"] > 0

@@ -198,6 +198,15 @@ class Network:
         """Record that ``router_id`` holds state for ``prefix``."""
         self._touched.setdefault(prefix, set()).add(router_id)
 
+    def touched_routers(self, prefix: Prefix) -> frozenset[int]:
+        """Router ids holding any state for ``prefix``.
+
+        The parallel task protocol uses this to capture exactly the RIB
+        slice a worker's simulation produced, so the supervisor can
+        replay it onto the parent network.
+        """
+        return frozenset(self._touched.get(prefix, ()))
+
     def clear_prefix(self, prefix: Prefix) -> None:
         """Wipe all routing state for ``prefix`` ahead of a re-simulation."""
         touched = self._touched.pop(prefix, None)

@@ -29,9 +29,19 @@ Global flags: ``--log-level`` / ``--log-json`` configure the ``repro``
 logger tree; ``refine`` and ``chaos`` accept ``--trace FILE`` to write a
 JSONL span/event trace of the run.
 
+``refine`` and ``chaos`` accept ``--workers N`` to fan per-prefix
+simulation out to a supervised worker pool (crash isolation, per-task
+watchdogs, poison-prefix quarantine); ``--workers 1`` (the default) keeps
+the sequential path bit-for-bit.  SIGINT/SIGTERM during a parallel phase
+drains gracefully: in-flight prefixes get a bounded grace period, the
+partial results are merged (and checkpointed, for ``refine
+--checkpoint``), and the run exits 5 with ``interrupted: true`` in its
+health report.
+
 Exit codes follow :mod:`repro.resilience.health`: 0 ok, 1 refinement
 stalled (or, for ``repro lint``, error findings), 2 usage, 3 diverged
-prefixes quarantined, 4 unusable data.
+prefixes quarantined (including poison/timeout prefixes the supervisor
+gave up on), 4 unusable data, 5 interrupted by a graceful shutdown.
 """
 
 from __future__ import annotations
@@ -53,14 +63,20 @@ from repro.core.whatif import depeer
 from repro.data.dumps import read_table_dump, write_table_dump
 from repro.data.observation import collect_dataset, select_observation_points
 from repro.data.synthesis import SyntheticConfig, synthesize_internet
-from repro.errors import CheckpointError, DatasetError, ParseError, TopologyError
+from repro.errors import (
+    CheckpointError,
+    DatasetError,
+    ParseError,
+    ShutdownRequested,
+    TopologyError,
+)
 from repro.net.prefix import Prefix
 from repro.obs.logs import LEVELS, configure_logging
 from repro.obs.meta import run_metadata
 from repro.obs.metrics import get_registry
 from repro.obs.trace import JsonlTracer, tracing
 from repro.resilience.faults import FaultConfig
-from repro.resilience.health import EXIT_DATA, RunHealth
+from repro.resilience.health import EXIT_DATA, EXIT_INTERRUPTED, RunHealth
 from repro.resilience.retry import RetryPolicy
 from repro.topology.classify import classify_ases
 from repro.topology.clique import infer_level1_clique
@@ -133,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "before simulating (zero attempts spent on them)")
     refine.add_argument("--trace",
                         help="write a JSONL span/event trace of the run here")
+    _add_parallel_arguments(refine)
     refine.set_defaults(handler=cmd_refine)
 
     lint = subparsers.add_parser(
@@ -179,6 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: stdout)")
     chaos.add_argument("--trace",
                        help="write a JSONL span/event trace of the run here")
+    _add_parallel_arguments(chaos)
+    chaos.add_argument("--kill-prefixes", type=int, default=0,
+                       help="prefixes whose parallel task kills its worker "
+                            "outright (needs --workers >= 2)")
+    chaos.add_argument("--hang-prefixes", type=int, default=0,
+                       help="prefixes whose parallel task hangs until the "
+                            "task watchdog fires (needs --workers >= 2)")
     chaos.set_defaults(handler=cmd_chaos)
 
     explain = subparsers.add_parser(
@@ -211,6 +235,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="how many changed pairs to print")
     whatif.set_defaults(handler=cmd_whatif)
     return parser
+
+
+def _add_parallel_arguments(subparser) -> None:
+    """The supervised-pool flags shared by ``refine`` and ``chaos``."""
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for per-prefix simulation (1 = sequential, "
+             "bit-for-bit the single-process path)")
+    subparser.add_argument(
+        "--task-timeout", type=float, default=60.0,
+        help="per-prefix wall-clock watchdog in seconds; a worker past it "
+             "is killed and the prefix resubmitted (0 disables)")
+    subparser.add_argument(
+        "--max-resubmits", type=int, default=2,
+        help="fresh workers a crashing/hanging prefix gets before being "
+             "quarantined as poison")
+
+
+def _parallel_config(args):
+    """A :class:`~repro.parallel.ParallelConfig` from CLI flags, or None."""
+    if getattr(args, "workers", 1) <= 1:
+        return None
+    from repro.parallel import ParallelConfig
+
+    return ParallelConfig(
+        workers=args.workers,
+        task_timeout=args.task_timeout if args.task_timeout > 0 else None,
+        max_resubmits=max(0, args.max_resubmits),
+    )
 
 
 def cmd_synthesize(args) -> int:
@@ -336,6 +389,7 @@ def _refine_run(args, health: RunHealth) -> int:
             retry=retry,
             checkpoint_every=args.checkpoint_every,
             lint_gate=args.lint_gate,
+            parallel=_parallel_config(args),
         ),
     )
     started = time.perf_counter()
@@ -349,6 +403,8 @@ def _refine_run(args, health: RunHealth) -> int:
                 health.record_metrics()
                 health.write(args.health_report)
             return EXIT_DATA
+        except ShutdownRequested as shutdown:
+            return _refine_interrupted(args, health, refiner, shutdown)
     model = result.model  # a resumed run swaps in the checkpointed model
     print(
         f"refinement: {result.iteration_count} iterations, "
@@ -361,7 +417,9 @@ def _refine_run(args, health: RunHealth) -> int:
         from repro.resilience.retry import ResilienceStats
 
         health.record_simulation(
-            ResilienceStats(outcomes=refiner.outcomes)
+            ResilienceStats(
+                outcomes=refiner.outcomes, supervision=refiner.supervision
+            )
         )
         quarantined = sorted(set(health.diverged_prefixes))
         if quarantined:
@@ -386,6 +444,36 @@ def _refine_run(args, health: RunHealth) -> int:
         health.write(args.health_report)
         print(f"wrote health report to {args.health_report}", file=sys.stderr)
     return health.exit_code
+
+
+def _refine_interrupted(args, health: RunHealth, refiner, shutdown) -> int:
+    """Finish ``repro refine`` after a graceful signal-driven drain.
+
+    The refiner already wrote a final checkpoint (when ``--checkpoint``
+    was given); here the partial results land in the health report and
+    the run exits :data:`~repro.resilience.health.EXIT_INTERRUPTED`.
+    """
+    from repro.resilience.retry import ResilienceStats
+
+    health.interrupted = True
+    if refiner.outcomes:
+        health.record_simulation(
+            ResilienceStats(
+                outcomes=refiner.outcomes, supervision=refiner.supervision
+            )
+        )
+    print(
+        f"interrupted by signal {shutdown.signum}: "
+        f"{len(refiner.outcomes)} prefix(es) simulated, "
+        f"{len(shutdown.pending)} left"
+        + (f"; checkpoint saved to {args.checkpoint}" if args.checkpoint else ""),
+        file=sys.stderr,
+    )
+    health.record_metrics()
+    if args.health_report:
+        health.write(args.health_report)
+        print(f"wrote health report to {args.health_report}", file=sys.stderr)
+    return EXIT_INTERRUPTED
 
 
 def cmd_lint(args) -> int:
@@ -423,6 +511,11 @@ def cmd_chaos(args) -> int:
     """Handle ``repro chaos``."""
     from repro.experiments.chaos import ChaosConfig, run_chaos
 
+    parallel = _parallel_config(args)
+    if parallel is None and (args.kill_prefixes or args.hang_prefixes):
+        print("error: --kill-prefixes/--hang-prefixes need --workers >= 2",
+              file=sys.stderr)
+        return 2
     config = ChaosConfig(
         seed=args.seed,
         scale=args.scale,
@@ -435,9 +528,12 @@ def cmd_chaos(args) -> int:
             truncate_line_fraction=args.truncate_fraction,
             session_flaps=args.flap_sessions,
             message_budget=args.message_budget,
+            worker_crash_prefixes=args.kill_prefixes,
+            worker_hang_prefixes=args.hang_prefixes,
         ),
         retry=RetryPolicy(max_attempts=max(1, args.retry_attempts)),
         lint_gate=args.lint_gate,
+        parallel=parallel,
     )
     get_registry().reset()
     if args.trace:
@@ -458,16 +554,21 @@ def cmd_chaos(args) -> int:
         print(health.to_json())
     summary = health.to_dict()
     simulation = summary.get("simulation") or {}
-    print(
-        f"chaos: {simulation.get('prefixes', 0)} prefixes, "
-        f"{simulation.get('attempts', 0)} attempts, "
-        f"{simulation.get('retries', 0)} retries, "
-        f"{len(simulation.get('transient', []))} transient, "
-        f"{len(simulation.get('diverged', []))} diverged, "
-        f"{len(simulation.get('unsafe', []))} statically unsafe, "
-        f"exit code {health.exit_code}",
-        file=sys.stderr,
-    )
+    parts = [
+        f"chaos: {simulation.get('prefixes', 0)} prefixes",
+        f"{simulation.get('attempts', 0)} attempts",
+        f"{simulation.get('retries', 0)} retries",
+        f"{len(simulation.get('transient') or [])} transient",
+        f"{len(simulation.get('diverged') or [])} diverged",
+        f"{len(simulation.get('unsafe') or [])} statically unsafe",
+    ]
+    if parallel is not None:
+        parts.append(f"{len(simulation.get('poison') or [])} poison")
+        parts.append(f"{len(simulation.get('timeout') or [])} timed out")
+    if health.interrupted:
+        parts.append("interrupted")
+    parts.append(f"exit code {health.exit_code}")
+    print(", ".join(parts), file=sys.stderr)
     return health.exit_code
 
 

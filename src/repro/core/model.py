@@ -130,16 +130,20 @@ class ASRoutingModel:
         self,
         policy: RetryPolicy = RetryPolicy(),
         prefixes: Iterable[Prefix] | None = None,
+        parallel=None,
     ) -> ResilienceStats:
         """Simulate every canonical prefix (or a subset) with retry + quarantine.
 
         Non-convergence is retried with escalating message budgets under
         ``policy``; prefixes that still diverge are quarantined (state
         cleared, listed in the outcomes) rather than aborting the run.
+        ``parallel`` (a :class:`repro.parallel.ParallelConfig` with
+        ``workers`` > 1) fans the prefixes out to the supervised worker
+        pool instead of looping in-process.
         """
         return simulate_network_with_retry(
             self.network, prefixes=prefixes, config=MODEL_DECISION_CONFIG,
-            policy=policy
+            policy=policy, parallel=parallel
         )
 
     def simulate_origin(self, origin_asn: int,

@@ -30,11 +30,15 @@ import logging
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.supervisor import ParallelConfig
 
 from repro.bgp.policy import Action, Clause, Match
 from repro.bgp.router import Router
 from repro.core.model import MODEL_DECISION_CONFIG, ASRoutingModel
-from repro.errors import CheckpointError, RefinementError
+from repro.errors import CheckpointError, RefinementError, ShutdownRequested
 from repro.net.prefix import Prefix
 from repro.obs.metrics import get_registry
 from repro.obs.trace import (
@@ -86,6 +90,16 @@ class RefinementConfig:
     spending any simulation attempts on them* — each gets a
     zero-attempt ``unsafe`` outcome instead of burning the full retry
     budget the way a divergence quarantine would.
+
+    ``parallel`` (a :class:`repro.parallel.ParallelConfig` with
+    ``workers`` > 1) fans the initial full-network simulation out to the
+    supervised worker pool; per-iteration re-simulation stays sequential
+    (each iteration touches few prefixes and mutates policies the workers'
+    network copies would not see).  Prefixes the supervisor classifies as
+    poison or timeout are quarantined like diverged ones.  A SIGINT or
+    SIGTERM during the parallel phase drains gracefully: the refiner
+    writes a final checkpoint (when given a checkpoint path) and re-raises
+    :class:`~repro.errors.ShutdownRequested`.
     """
 
     max_iterations: int = 60
@@ -98,6 +112,7 @@ class RefinementConfig:
     retry: RetryPolicy | None = None
     checkpoint_every: int = 5
     lint_gate: bool = False
+    parallel: "ParallelConfig | None" = None
 
 
 @dataclass
@@ -156,6 +171,7 @@ class Refiner:
         self.model = model
         self.config = config
         self.outcomes: list[PrefixOutcome] = []
+        self.supervision: dict | None = None
         self.gated_prefixes: list[Prefix] = []
         self._gate_applied = False
         self.targets: dict[int, list[tuple[int, ...]]] = {}
@@ -199,7 +215,23 @@ class Refiner:
             )
             simulate_first = True
         if simulate_first:
-            self._simulate_all()
+            try:
+                self._simulate_all()
+            except ShutdownRequested:
+                # Graceful drain mid-simulation: persist what completed so
+                # a rerun with the same checkpoint resumes instead of
+                # restarting, then let the caller finish shutting down.
+                if checkpoint_path is not None:
+                    save_checkpoint(
+                        checkpoint_path,
+                        self.model.network,
+                        start_iteration,
+                        best_matched,
+                        stale_iterations,
+                        [asdict(s) for s in restored],
+                        fingerprint=training_fingerprint(self.targets),
+                    )
+                raise
         result = RefinementResult(model=self.model, converged=False)
         result.iterations.extend(restored)
         if restored and restored[-1].paths_matched == restored[-1].paths_total:
@@ -299,7 +331,7 @@ class Refiner:
             logger.warning("lint gate quarantined %s (origin AS%s)", prefix, origin)
 
     def _simulate_all(self) -> None:
-        """Simulate every non-gated prefix, honouring the retry policy."""
+        """Simulate every non-gated prefix, honouring retry and parallelism."""
         prefixes = None
         if self.gated_prefixes:
             gated = set(self.gated_prefixes)
@@ -308,7 +340,25 @@ class Refiner:
                 for prefix in self.model.network.prefixes()
                 if prefix not in gated
             ]
-        if self.config.retry is None:
+        parallel = self.config.parallel
+        if parallel is not None and parallel.enabled:
+            # The pool always runs under a retry policy; without one
+            # configured, a single attempt mirrors the plain engine (but
+            # quarantines divergence instead of raising — a worker cannot
+            # usefully raise across the process boundary).
+            policy = self.config.retry or RetryPolicy(max_attempts=1)
+            try:
+                stats = self.model.simulate_all_resilient(
+                    policy, prefixes=prefixes, parallel=parallel
+                )
+            except ShutdownRequested as shutdown:
+                if shutdown.stats is not None:
+                    self.outcomes.extend(shutdown.stats.outcomes)
+                    self.supervision = shutdown.stats.supervision
+                raise
+            self.outcomes.extend(stats.outcomes)
+            self.supervision = stats.supervision
+        elif self.config.retry is None:
             self.model.simulate_all(prefixes=prefixes)
         else:
             stats = self.model.simulate_all_resilient(

@@ -56,3 +56,29 @@ class RefinementError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for inconsistent observed-path datasets (empty training set, ...)."""
+
+
+class ShutdownRequested(ReproError):
+    """A SIGINT/SIGTERM reached the parallel supervisor mid-run.
+
+    Raised after the graceful drain: in-flight work was given a bounded
+    grace period, completed results were merged, and workers were torn
+    down.  Carries everything the caller needs to exit cleanly:
+
+    Attributes:
+        signum: the signal number that triggered the drain.
+        stats: the partial :class:`~repro.resilience.retry.ResilienceStats`
+            covering every prefix that finished before the drain.
+        pending: prefixes that were still queued or in flight, in sorted
+            order — the work a resumed run must redo.
+    """
+
+    def __init__(self, signum: int, stats=None, pending=None):
+        pending = list(pending or [])
+        super().__init__(
+            f"shutdown requested (signal {signum}); "
+            f"{len(pending)} prefix(es) left unsimulated"
+        )
+        self.signum = signum
+        self.stats = stats
+        self.pending = pending

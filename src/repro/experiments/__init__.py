@@ -23,6 +23,7 @@ from repro.experiments import (
     fig3,
     fig8,
     obs,
+    parallelism,
     table1,
     table2,
     table3,
@@ -51,6 +52,7 @@ __all__ = [
     "table4",
     "table5",
     "ablations",
+    "parallelism",
     "chaos",
     "obs",
     "scaling",

@@ -21,8 +21,10 @@ from repro.core.refine import RefinementConfig, Refiner
 from repro.data.dumps import read_table_dump, write_table_dump
 from repro.data.observation import collect_dataset, select_observation_points
 from repro.data.synthesis import SyntheticConfig, synthesize_internet
-from repro.errors import DatasetError, RefinementError
+from repro.errors import DatasetError, RefinementError, ShutdownRequested
 from repro.net.prefix import Prefix
+from repro.parallel.protocol import WorkerFaults
+from repro.parallel.supervisor import ParallelConfig
 from repro.resilience.faults import FaultConfig, apply_faults, corrupt_dump_lines
 from repro.resilience.health import RunHealth
 from repro.resilience.retry import (
@@ -63,6 +65,13 @@ class ChaosConfig:
     ``unsafe`` outcome instead of burning the full retry budget in the
     simulate phase; the lint report lands in the health report.
     """
+    parallel: ParallelConfig | None = None
+    """Run the simulate and refine phases through the supervised worker
+    pool.  Combined with ``faults.worker_crash_prefixes`` /
+    ``faults.worker_hang_prefixes`` this exercises crash resubmission,
+    watchdog kills and poison quarantine end-to-end; a SIGINT/SIGTERM
+    mid-phase drains gracefully and the health report says
+    ``interrupted`` with exit code 5."""
 
 
 def run_chaos(config: ChaosConfig = ChaosConfig()) -> RunHealth:
@@ -93,14 +102,31 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> RunHealth:
         # Budget-exhaustion fault: start every prefix from the sabotaged
         # budget so healthy prefixes must recover through escalation.
         retry = replace(retry, initial_budget=config.faults.message_budget)
+    parallel = config.parallel
+    if parallel is not None and (report.worker_crash or report.worker_hang):
+        parallel = replace(
+            parallel,
+            faults=WorkerFaults(
+                crash_prefixes=tuple(report.worker_crash),
+                hang_prefixes=tuple(report.worker_hang),
+            ),
+        )
     with health.phase("simulate"):
         targets = None
         if gated:
             skip = set(gated)
             targets = [p for p in internet.network.prefixes() if p not in skip]
-        stats = simulate_network_with_retry(
-            internet.network, prefixes=targets, policy=retry
-        )
+        try:
+            stats = simulate_network_with_retry(
+                internet.network, prefixes=targets, policy=retry,
+                parallel=parallel,
+            )
+        except ShutdownRequested as shutdown:
+            health.interrupted = True
+            if shutdown.stats is not None:
+                health.record_simulation(shutdown.stats)
+            health.faults = report.to_dict()
+            return health
         for prefix in gated:
             stats.outcomes.append(PrefixOutcome.gated(prefix))
     health.record_simulation(stats)
@@ -138,10 +164,17 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> RunHealth:
                 model,
                 pruned.dataset,
                 RefinementConfig(
-                    max_iterations=config.refine_iterations, retry=retry
+                    max_iterations=config.refine_iterations, retry=retry,
+                    # The worker faults already fired in the simulate
+                    # phase; refinement gets a clean (but still parallel)
+                    # pool for its initial full-network simulation.
+                    parallel=config.parallel,
                 ),
             )
             result = refiner.run()
+        except ShutdownRequested:
+            health.interrupted = True
+            return health
         except (DatasetError, RefinementError) as error:
             health.record_error(error)
             return health

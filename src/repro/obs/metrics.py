@@ -122,6 +122,42 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name)
         return instrument
 
+    def dump_raw(self) -> dict:
+        """Lossless, picklable view of every instrument.
+
+        Unlike :meth:`snapshot`, histograms keep their raw observation
+        lists, so a dump taken in a worker process can be folded into the
+        parent registry with :meth:`merge_raw` without losing the order
+        statistics the summary percentiles are computed from.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value for name in self._counters
+            },
+            "gauges": {name: self._gauges[name].value for name in self._gauges},
+            "histograms": {
+                name: list(self._histograms[name].values)
+                for name in self._histograms
+            },
+        }
+
+    def merge_raw(self, data: dict) -> None:
+        """Fold a :meth:`dump_raw` dump (from a worker) into this registry.
+
+        Instrument names are merged in sorted order so repeated merges of
+        the same dumps land in an identical registry state (gauges are
+        last-write-wins, so merge order is part of the contract).
+        """
+        counters = data.get("counters") or {}
+        for name in sorted(counters):
+            self.counter(name).inc(counters[name])
+        gauges = data.get("gauges") or {}
+        for name in sorted(gauges):
+            self.gauge(name).set(gauges[name])
+        histograms = data.get("histograms") or {}
+        for name in sorted(histograms):
+            self.histogram(name).values.extend(histograms[name])
+
     def snapshot(self) -> dict:
         """JSON-serialisable view of every instrument, sorted by name."""
         return {

@@ -39,8 +39,29 @@ def health_stats(report: dict) -> dict:
         "phases_seconds": report.get("phases_seconds") or {},
         "metrics": report.get("metrics")
         or {"counters": {}, "gauges": {}, "histograms": {}},
+        "simulation": _simulation_slice(report.get("simulation")),
+        "interrupted": bool(report.get("interrupted")),
         "exit_code": report.get("exit_code"),
     }
+
+
+_OUTCOME_KINDS = ("transient", "diverged", "unsafe", "poison", "timeout")
+
+
+def _simulation_slice(simulation: dict | None) -> dict | None:
+    """Outcome counts plus worker-supervision counters, if simulated."""
+    if not simulation:
+        return None
+    slice_: dict = {
+        "prefixes": simulation.get("prefixes", 0),
+        "converged": simulation.get("converged", 0),
+        "outcomes": {
+            kind: len(simulation.get(kind) or []) for kind in _OUTCOME_KINDS
+        },
+    }
+    if simulation.get("supervision"):
+        slice_["supervision"] = dict(simulation["supervision"])
+    return slice_
 
 
 def render_stats(report: dict) -> str:
@@ -88,6 +109,21 @@ def render_stats(report: dict) -> str:
             lines.append(f"    {cells}")
     if not (counters or gauges or histograms):
         lines.append("metrics: (none recorded — re-run with a recent repro)")
+    simulation = stats["simulation"]
+    if simulation:
+        lines.append("simulation:")
+        lines.append(f"  {'prefixes':<16} {simulation['prefixes']}")
+        lines.append(f"  {'converged':<16} {simulation['converged']}")
+        for kind, count in simulation["outcomes"].items():
+            if count:
+                lines.append(f"  {kind:<16} {count}")
+        supervision = simulation.get("supervision")
+        if supervision:
+            lines.append("supervision:")
+            for key in sorted(supervision):
+                lines.append(f"  {key:<16} {supervision[key]}")
+    if stats["interrupted"]:
+        lines.append("interrupted: yes (graceful shutdown drained this run)")
     if stats["exit_code"] is not None:
         lines.append(f"exit_code: {stats['exit_code']}")
     return "\n".join(lines)

@@ -60,6 +60,24 @@ EVENT_QUARANTINE = "quarantine"
 EVENT_LINT_QUARANTINE = "lint-quarantine"
 """The static lint gate quarantined a prefix before any simulation."""
 
+EVENT_WORKER_SPAWN = "worker-spawn"
+"""The parallel supervisor started (or restarted) a worker process."""
+
+EVENT_WORKER_DEATH = "worker-death"
+"""A supervised worker died or lost its heartbeat mid-task."""
+
+EVENT_TASK_TIMEOUT = "task-timeout"
+"""A per-task wall-clock watchdog expired; the worker was killed."""
+
+EVENT_TASK_RESUBMIT = "task-resubmit"
+"""A task whose worker failed is being handed to a fresh worker."""
+
+EVENT_POISON_PREFIX = "poison-prefix"
+"""A prefix exhausted ``max_resubmits`` and was classified poison/timeout."""
+
+EVENT_DRAIN = "drain"
+"""SIGINT/SIGTERM received: the supervisor is draining gracefully."""
+
 
 class Tracer:
     """Base tracer: span bookkeeping plus the record sink interface.

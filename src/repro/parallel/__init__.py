@@ -1,0 +1,32 @@
+"""Supervised parallel simulation executor.
+
+Per-prefix BGP simulation is embarrassingly parallel (Section 4.2 of the
+paper: routing decisions are made independently per prefix), so this
+package fans prefixes out to a crash-isolated pool of worker processes
+supervised by watchdogs, with poison-prefix quarantine and graceful
+signal-driven shutdown.  ``workers=1`` keeps the sequential path.
+"""
+
+from repro.parallel.protocol import (
+    PrefixState,
+    TaskResult,
+    WorkerFaults,
+    apply_prefix_state,
+    capture_prefix_state,
+)
+from repro.parallel.supervisor import (
+    ParallelConfig,
+    SupervisedPool,
+    simulate_network_supervised,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "PrefixState",
+    "SupervisedPool",
+    "TaskResult",
+    "WorkerFaults",
+    "apply_prefix_state",
+    "capture_prefix_state",
+    "simulate_network_supervised",
+]

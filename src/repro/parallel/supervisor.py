@@ -1,0 +1,634 @@
+"""The supervised process pool for per-prefix simulation.
+
+:class:`SupervisedPool` owns the complete worker lifecycle so that
+parallelism never makes the run more fragile than the sequential path:
+
+* **Crash isolation** — each worker simulates on its own unpickled copy
+  of the network; a segfault, OOM kill or unexpected exception costs the
+  supervisor one worker and (at worst) one prefix, never the run.
+* **Watchdogs** — every dispatched task has a wall-clock deadline
+  (``task_timeout``), and every worker heartbeats from a side thread;
+  missing either gets the worker killed and replaced.
+* **Poison-prefix detection** — a failed task is resubmitted to a fresh
+  worker at most ``max_resubmits`` times, then classified as a ``poison``
+  (crashes) or ``timeout`` (watchdog expiries) outcome, quarantined
+  exactly like a diverged prefix.
+* **Deterministic merge** — results are reduced in prefix-sorted order
+  (RIB slices, engine stats, metrics dumps), so the final network, stats
+  and reports are identical regardless of completion order and match the
+  sequential path bit-for-bit on healthy inputs.
+* **Graceful shutdown** — SIGINT/SIGTERM stops dispatching, gives
+  in-flight tasks a bounded grace period, merges what completed, and
+  raises :class:`~repro.errors.ShutdownRequested` carrying the partial
+  stats so callers can checkpoint before exiting.
+
+Every supervision event (spawn, death, restart, timeout, resubmit,
+poison classification, drain) emits through the tracer and the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from typing import Iterable
+
+from repro.bgp.decision import DecisionConfig
+from repro.bgp.network import Network
+from repro.errors import ShutdownRequested
+from repro.net.prefix import Prefix
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    EVENT_DRAIN,
+    EVENT_POISON_PREFIX,
+    EVENT_TASK_RESUBMIT,
+    EVENT_TASK_TIMEOUT,
+    EVENT_WORKER_DEATH,
+    EVENT_WORKER_SPAWN,
+    get_tracer,
+)
+from repro.parallel.protocol import (
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    TaskResult,
+    WorkerFaults,
+    apply_prefix_state,
+)
+from repro.parallel.worker import worker_main
+from repro.resilience.retry import (
+    POISON,
+    TIMEOUT,
+    PrefixOutcome,
+    ResilienceStats,
+    RetryPolicy,
+)
+
+logger = logging.getLogger(__name__)
+
+FAIL_CRASH = "crash"
+FAIL_TIMEOUT = "timeout"
+FAIL_STALLED = "stalled"
+FAIL_ERROR = "error"
+
+_TICK_SECONDS = 0.05
+"""Upper bound on how long the event loop blocks waiting for messages."""
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the supervised pool runs.
+
+    ``workers=1`` (the default) disables the pool entirely — callers fall
+    back to the sequential path, bit-for-bit.  ``task_timeout`` is the
+    per-dispatch wall-clock watchdog (None disables it; the retry
+    policy's own ``deadline_seconds`` still bounds healthy tasks).
+    ``max_resubmits`` is how many *fresh* workers a failing prefix gets
+    before being classified poison.  ``drain_grace`` bounds how long a
+    graceful shutdown waits for in-flight tasks.  ``start_method`` picks
+    the multiprocessing start method (default: ``fork`` where available,
+    else ``spawn``).
+    """
+
+    workers: int = 1
+    task_timeout: float | None = 60.0
+    heartbeat_interval: float = 0.2
+    heartbeat_grace: float = 15.0
+    max_resubmits: int = 2
+    drain_grace: float = 5.0
+    start_method: str | None = None
+    faults: WorkerFaults | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when the pool should actually be used."""
+        return self.workers > 1
+
+
+@dataclass
+class _Task:
+    """Supervisor-side bookkeeping for one prefix."""
+
+    task_id: int
+    prefix: Prefix
+    failures: list[str] = field(default_factory=list)
+    first_dispatched: float | None = None
+
+
+@dataclass
+class _Worker:
+    """One supervised worker process."""
+
+    index: int
+    generation: int
+    process: object
+    conn: object
+    pid: int
+    task_id: int | None = None
+    dispatched_at: float = 0.0
+    last_beat: float = 0.0
+
+
+class SupervisedPool:
+    """Crash-isolated worker pool for per-prefix simulation.
+
+    Use as a context manager or call :meth:`close` explicitly; a pool is
+    single-use (one :meth:`run`), matching how the refiner and the chaos
+    pipeline consume it.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: DecisionConfig = DecisionConfig(),
+        policy: RetryPolicy = RetryPolicy(),
+        parallel: ParallelConfig = ParallelConfig(),
+    ) -> None:
+        if parallel.workers < 2:
+            raise ValueError(
+                f"SupervisedPool needs workers >= 2, got {parallel.workers}; "
+                "use the sequential path for workers=1"
+            )
+        self.network = network
+        self.config = config
+        self.policy = policy
+        self.parallel = parallel
+        start_method = parallel.start_method
+        if start_method is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = get_context(start_method)
+        self._blob = pickle.dumps(network)
+        self._workers: list[_Worker | None] = [None] * parallel.workers
+        self._spawned = 0
+        self._crashes = 0
+        self._timeouts = 0
+        self._resubmits = 0
+        self._drain_signum: int | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def run(self, prefixes: Iterable[Prefix] | None = None) -> ResilienceStats:
+        """Simulate every prefix through the pool; returns merged stats.
+
+        Raises :class:`~repro.errors.ShutdownRequested` after a graceful
+        drain if SIGINT/SIGTERM arrives mid-run (partial stats attached).
+        """
+        targets = (
+            sorted(prefixes) if prefixes is not None else self.network.prefixes()
+        )
+        tasks = {
+            task_id: _Task(task_id, prefix)
+            for task_id, prefix in enumerate(targets)
+        }
+        pending: deque[int] = deque(sorted(tasks))
+        results: dict[Prefix, TaskResult] = {}
+        failed: dict[Prefix, PrefixOutcome] = {}
+
+        previous_handlers = self._install_signal_handlers()
+        drain_announced = False
+        drain_deadline: float | None = None
+        try:
+            for index in range(self.parallel.workers):
+                self._workers[index] = self._spawn(index)
+            while True:
+                now = time.monotonic()
+                if self._drain_signum is not None and not drain_announced:
+                    drain_announced = True
+                    drain_deadline = now + self.parallel.drain_grace
+                    self._emit_drain(len(pending))
+                inflight = [w for w in self._live_workers() if w.task_id is not None]
+                if self._drain_signum is None:
+                    if not pending and not inflight:
+                        break
+                    self._dispatch(pending, tasks)
+                else:
+                    if not inflight or (
+                        drain_deadline is not None and now >= drain_deadline
+                    ):
+                        break
+                self._pump_messages(tasks, pending, results, failed)
+                self._check_watchdogs(tasks, pending, results, failed)
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+            self.close()
+
+        stats = self._merge(results, failed)
+        if self._drain_signum is not None:
+            unfinished = sorted(
+                task.prefix
+                for task in tasks.values()
+                if task.prefix not in results and task.prefix not in failed
+            )
+            raise ShutdownRequested(self._drain_signum, stats, unfinished)
+        return stats
+
+    def close(self) -> None:
+        """Tear down every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._live_workers():
+            try:
+                worker.conn.send((MSG_SHUTDOWN,))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 1.0
+        for worker in self._live_workers():
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+            worker.conn.close()
+        self._workers = [None] * self.parallel.workers
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _live_workers(self) -> list[_Worker]:
+        return [w for w in self._workers if w is not None]
+
+    def _spawn(self, index: int) -> _Worker:
+        """Start worker ``index`` (initial spawn or restart)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                self._blob,
+                self.config,
+                self.policy,
+                self.parallel.faults,
+                self.parallel.heartbeat_interval,
+            ),
+            name=f"repro-sim-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._spawned += 1
+        generation = self._spawned
+        restart = generation > self.parallel.workers
+        get_registry().counter("parallel.workers_spawned").inc()
+        if restart:
+            get_registry().counter("parallel.worker_restarts").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_WORKER_SPAWN,
+                worker=index,
+                pid=process.pid,
+                generation=generation,
+                restart=restart,
+            )
+        logger.debug(
+            "%s worker %d (pid %d, generation %d)",
+            "restarted" if restart else "spawned", index, process.pid, generation,
+        )
+        now = time.monotonic()
+        return _Worker(
+            index=index,
+            generation=generation,
+            process=process,
+            conn=parent_conn,
+            pid=process.pid,
+            last_beat=now,
+        )
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        """Forcibly remove ``worker`` from the pool (SIGKILL, no goodbye)."""
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(2.0)
+        worker.conn.close()
+        self._workers[worker.index] = None
+
+    def _fail_worker(
+        self,
+        worker: _Worker,
+        reason: str,
+        tasks: dict[int, _Task],
+        pending: deque[int],
+        failed: dict[Prefix, PrefixOutcome],
+    ) -> None:
+        """Handle a dead/hung worker: charge its task, kill, restart."""
+        self._crashes += 1
+        get_registry().counter("parallel.worker_deaths").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_WORKER_DEATH,
+                worker=worker.index,
+                pid=worker.pid,
+                generation=worker.generation,
+                reason=reason,
+                task=tasks[worker.task_id].prefix.__str__()
+                if worker.task_id is not None
+                else None,
+            )
+        logger.warning(
+            "worker %d (pid %d) lost: %s", worker.index, worker.pid, reason
+        )
+        task_id = worker.task_id
+        self._kill_worker(worker)
+        if task_id is not None:
+            self._charge_task_failure(tasks[task_id], reason, pending, failed)
+        if self._drain_signum is None:
+            self._workers[worker.index] = self._spawn(worker.index)
+
+    def _charge_task_failure(
+        self,
+        task: _Task,
+        reason: str,
+        pending: deque[int],
+        failed: dict[Prefix, PrefixOutcome],
+    ) -> None:
+        """Record one failed dispatch; resubmit or classify the prefix."""
+        task.failures.append(reason)
+        registry = get_registry()
+        tracer = get_tracer()
+        resubmits_used = len(task.failures) - 1
+        if resubmits_used < self.parallel.max_resubmits:
+            self._resubmits += 1
+            registry.counter("parallel.resubmits").inc()
+            if tracer.enabled:
+                tracer.event(
+                    EVENT_TASK_RESUBMIT,
+                    prefix=str(task.prefix),
+                    resubmit=resubmits_used + 1,
+                    reason=reason,
+                )
+            logger.warning(
+                "resubmitting %s after %s (attempt %d of %d)",
+                task.prefix, reason, resubmits_used + 2,
+                self.parallel.max_resubmits + 1,
+            )
+            pending.appendleft(task.task_id)
+            return
+        status = (
+            TIMEOUT
+            if all(r == FAIL_TIMEOUT for r in task.failures)
+            else POISON
+        )
+        elapsed = (
+            time.monotonic() - task.first_dispatched
+            if task.first_dispatched is not None
+            else 0.0
+        )
+        outcome = PrefixOutcome.supervised_failure(
+            task.prefix, status, resubmits_used, elapsed
+        )
+        failed[task.prefix] = outcome
+        registry.counter(f"parallel.{status}_prefixes").inc()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_POISON_PREFIX,
+                prefix=str(task.prefix),
+                status=status,
+                failures=list(task.failures),
+            )
+        logger.error(
+            "classified %s as %s after %d failed dispatch(es): %s",
+            task.prefix, status, len(task.failures), ", ".join(task.failures),
+        )
+
+    # ------------------------------------------------------------------
+    # Event loop pieces
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, pending: deque[int], tasks: dict[int, _Task]) -> None:
+        """Hand queued tasks to idle workers (one outstanding task each)."""
+        for worker in self._live_workers():
+            if not pending:
+                return
+            if worker.task_id is not None:
+                continue
+            task_id = pending.popleft()
+            task = tasks[task_id]
+            worker.task_id = task_id
+            worker.dispatched_at = time.monotonic()
+            if task.first_dispatched is None:
+                task.first_dispatched = worker.dispatched_at
+            try:
+                worker.conn.send((MSG_TASK, task_id, task.prefix))
+            except (BrokenPipeError, OSError):
+                # Worker died before the dispatch committed: the task never
+                # started, so it goes back unpunished and the death is
+                # handled by the next watchdog sweep.
+                worker.task_id = None
+                pending.appendleft(task_id)
+                return
+
+    def _pump_messages(
+        self,
+        tasks: dict[int, _Task],
+        pending: deque[int],
+        results: dict[Prefix, TaskResult],
+        failed: dict[Prefix, PrefixOutcome],
+    ) -> None:
+        """Receive everything the workers sent, blocking at most one tick."""
+        conns = {w.conn: w for w in self._live_workers()}
+        if not conns:
+            time.sleep(_TICK_SECONDS)
+            return
+        ready = mp_connection.wait(list(conns), timeout=_TICK_SECONDS)
+        for conn in ready:
+            worker = conns[conn]
+            if self._workers[worker.index] is not worker:
+                continue  # already replaced by an earlier message this sweep
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._fail_worker(worker, FAIL_CRASH, tasks, pending, failed)
+                    break
+                self._handle_message(worker, message, tasks, pending, failed, results)
+                if self._workers[worker.index] is not worker:
+                    break
+
+    def _handle_message(
+        self,
+        worker: _Worker,
+        message: tuple,
+        tasks: dict[int, _Task],
+        pending: deque[int],
+        failed: dict[Prefix, PrefixOutcome],
+        results: dict[Prefix, TaskResult],
+    ) -> None:
+        worker.last_beat = time.monotonic()
+        kind = message[0]
+        if kind in (MSG_HEARTBEAT, MSG_READY):
+            return
+        if kind == MSG_RESULT:
+            _, task_id, result = message
+            if worker.task_id != task_id:  # stale double-send; ignore
+                return
+            worker.task_id = None
+            task = tasks[task_id]
+            results[task.prefix] = result
+            registry = get_registry()
+            registry.counter("parallel.tasks_completed").inc()
+            registry.histogram("parallel.task_seconds").observe(
+                time.monotonic() - worker.dispatched_at
+            )
+            return
+        if kind == MSG_ERROR:
+            _, task_id, detail = message
+            if worker.task_id != task_id:
+                return
+            worker.task_id = None
+            get_registry().counter("parallel.task_errors").inc()
+            logger.warning(
+                "task %s failed in worker %d: %s",
+                tasks[task_id].prefix, worker.index, detail,
+            )
+            self._charge_task_failure(tasks[task_id], FAIL_ERROR, pending, failed)
+
+    def _check_watchdogs(
+        self,
+        tasks: dict[int, _Task],
+        pending: deque[int],
+        results: dict[Prefix, TaskResult],
+        failed: dict[Prefix, PrefixOutcome],
+    ) -> None:
+        """Kill workers that died, went silent, or blew the task deadline."""
+        now = time.monotonic()
+        for worker in self._live_workers():
+            if not worker.process.is_alive() and not worker.conn.poll():
+                self._fail_worker(worker, FAIL_CRASH, tasks, pending, failed)
+                continue
+            if (
+                worker.task_id is not None
+                and self.parallel.task_timeout is not None
+                and now - worker.dispatched_at > self.parallel.task_timeout
+            ):
+                self._timeouts += 1
+                registry = get_registry()
+                registry.counter("parallel.task_timeouts").inc()
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        EVENT_TASK_TIMEOUT,
+                        prefix=str(tasks[worker.task_id].prefix),
+                        worker=worker.index,
+                        timeout=self.parallel.task_timeout,
+                    )
+                self._fail_worker(worker, FAIL_TIMEOUT, tasks, pending, failed)
+                continue
+            if now - worker.last_beat > self.parallel.heartbeat_grace:
+                self._fail_worker(worker, FAIL_STALLED, tasks, pending, failed)
+
+    # ------------------------------------------------------------------
+    # Signals and merge
+    # ------------------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        """Route SIGINT/SIGTERM into the drain flag (main thread only)."""
+
+        def handle(signum, frame):  # noqa: ARG001 - signal signature
+            self._drain_signum = signum
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handle)
+            except ValueError:
+                # Not the main thread: the drain path stays reachable via
+                # a caller setting _drain_signum, but signals pass by.
+                break
+        return previous
+
+    def _restore_signal_handlers(self, previous) -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    def _emit_drain(self, queued: int) -> None:
+        get_registry().counter("parallel.drains").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_DRAIN,
+                signal=self._drain_signum,
+                queued=queued,
+                grace=self.parallel.drain_grace,
+            )
+        logger.warning(
+            "draining on signal %s: %d task(s) still queued, %.1fs grace "
+            "for in-flight work",
+            self._drain_signum, queued, self.parallel.drain_grace,
+        )
+
+    def _merge(
+        self,
+        results: dict[Prefix, TaskResult],
+        failed: dict[Prefix, PrefixOutcome],
+    ) -> ResilienceStats:
+        """Reduce worker results deterministically (prefix-sorted)."""
+        stats = ResilienceStats()
+        registry = get_registry()
+        for prefix in sorted(results):
+            result = results[prefix]
+            apply_prefix_state(self.network, result.state)
+            stats.engine.merge(result.stats)
+            registry.merge_raw(result.metrics)
+            stats.outcomes.append(result.outcome)
+        for prefix in sorted(failed):
+            # Quarantine: a poison/timeout prefix carries no routes.
+            self.network.clear_prefix(prefix)
+            stats.outcomes.append(failed[prefix])
+        stats.outcomes.sort(key=lambda o: o.prefix)
+        stats.supervision = {
+            "workers": self.parallel.workers,
+            "spawned": self._spawned,
+            "deaths": self._crashes,
+            "restarts": max(0, self._spawned - self.parallel.workers),
+            "task_timeouts": self._timeouts,
+            "resubmits": self._resubmits,
+            "drained": self._drain_signum is not None,
+        }
+        return stats
+
+
+def simulate_network_supervised(
+    network: Network,
+    prefixes: Iterable[Prefix] | None = None,
+    config: DecisionConfig = DecisionConfig(),
+    policy: RetryPolicy = RetryPolicy(),
+    parallel: ParallelConfig = ParallelConfig(),
+) -> ResilienceStats:
+    """Simulate every prefix through a supervised worker pool.
+
+    Falls back to the sequential retry loop when ``parallel`` is not
+    enabled (``workers=1``), preserving that path bit-for-bit.
+    """
+    if not parallel.enabled:
+        from repro.resilience.retry import simulate_network_with_retry
+
+        return simulate_network_with_retry(
+            network, prefixes=prefixes, config=config, policy=policy
+        )
+    with SupervisedPool(network, config, policy, parallel) as pool:
+        return pool.run(prefixes)

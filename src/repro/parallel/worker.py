@@ -1,0 +1,133 @@
+"""The worker process entrypoint of the supervised pool.
+
+A worker unpickles its own private copy of the network once at startup,
+then loops: receive a prefix task, run the escalating-budget retry
+simulation on the private copy, capture the prefix's converged RIB slice,
+and send it back with the outcome, engine stats and a raw metrics dump.
+
+A daemon thread heartbeats over the same connection while the main thread
+simulates, so the supervisor can tell a *busy* worker from a *wedged* one.
+All sends share one lock (``multiprocessing`` connections are not
+thread-safe).
+
+Workers deliberately run with a :class:`~repro.obs.trace.NullTracer` and
+a private metrics registry: engine metrics travel home inside each
+result, and only the supervisor emits trace events (the supervision
+events of the run).  Unexpected task exceptions are reported as
+``MSG_ERROR`` and the worker keeps serving; anything that kills the
+process outright (segfault, OOM, ``os._exit``) is the supervisor's
+problem, by design.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import set_tracer
+from repro.parallel.protocol import (
+    CRASH_EXIT_CODE,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    TaskResult,
+    WorkerFaults,
+    capture_prefix_state,
+)
+from repro.resilience.retry import simulate_prefix_with_retry
+
+
+def worker_main(
+    conn,
+    network_blob: bytes,
+    decision_config,
+    retry_policy,
+    faults: WorkerFaults | None,
+    heartbeat_interval: float,
+) -> None:
+    """Run the worker loop on ``conn`` until shutdown or EOF."""
+    # The supervisor coordinates interruption: a terminal Ctrl-C reaches
+    # the whole process group, and a worker that died to SIGINT would
+    # turn every graceful drain into a spray of crash events.  SIGTERM
+    # keeps its default handler so the supervisor's kill always works.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    set_tracer(None)
+    set_registry(MetricsRegistry())
+
+    network = pickle.loads(network_blob)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(message: tuple) -> bool:
+        with send_lock:
+            try:
+                conn.send(message)
+                return True
+            except (BrokenPipeError, OSError):
+                return False
+
+    def heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            if not send((MSG_HEARTBEAT, os.getpid())):
+                return
+
+    beater = threading.Thread(target=heartbeat, daemon=True)
+    beater.start()
+    send((MSG_READY, os.getpid()))
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == MSG_SHUTDOWN:
+                break
+            if message[0] != MSG_TASK:  # pragma: no cover - protocol guard
+                continue
+            _, task_id, prefix = message
+            _inject_faults(prefix, faults)
+            registry = MetricsRegistry()
+            set_registry(registry)
+            try:
+                stats, outcome = simulate_prefix_with_retry(
+                    network, prefix, decision_config, retry_policy
+                )
+                result = TaskResult(
+                    prefix=prefix,
+                    outcome=outcome,
+                    stats=stats,
+                    state=capture_prefix_state(network, prefix),
+                    metrics=registry.dump_raw(),
+                )
+            except BaseException as error:  # noqa: BLE001 - reported, not hidden
+                if not send((MSG_ERROR, task_id, repr(error))):
+                    break
+                continue
+            if not send((MSG_RESULT, task_id, result)):
+                break
+    finally:
+        stop.set()
+        conn.close()
+
+
+def _inject_faults(prefix, faults: WorkerFaults | None) -> None:
+    """Apply configured crash/hang sabotage for ``prefix`` (chaos/tests)."""
+    if not faults:
+        return
+    name = str(prefix)
+    if name in faults.crash_prefixes:
+        # Mimic a segfault/OOM kill: vanish without a goodbye message.
+        os._exit(CRASH_EXIT_CODE)
+    if name in faults.hang_prefixes:
+        time.sleep(faults.hang_seconds)

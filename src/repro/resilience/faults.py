@@ -44,6 +44,13 @@ class FaultConfig:
     truncate_line_fraction: float = 0.0
     session_flaps: int = 0
     message_budget: int | None = None
+    worker_crash_prefixes: int = 0
+    """Prefixes whose supervised-pool task kills its worker outright
+    (``os._exit``), exercising crash resubmission and poison quarantine.
+    Only meaningful for parallel runs."""
+    worker_hang_prefixes: int = 0
+    """Prefixes whose supervised-pool task hangs until the per-task
+    watchdog fires.  Only meaningful for parallel runs."""
 
 
 @dataclass
@@ -55,6 +62,8 @@ class FaultReport:
     corrupted_lines: int = 0
     truncated_lines: int = 0
     message_budget: int | None = None
+    worker_crash: list[str] = field(default_factory=list)
+    worker_hang: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary."""
@@ -66,6 +75,8 @@ class FaultReport:
             "corrupted_lines": self.corrupted_lines,
             "truncated_lines": self.truncated_lines,
             "message_budget": self.message_budget,
+            "worker_crash_prefixes": sorted(self.worker_crash),
+            "worker_hang_prefixes": sorted(self.worker_hang),
         }
 
 
@@ -172,12 +183,36 @@ def flap_sessions(
         report.flapped.append((a.asn, b.asn))
 
 
+def select_worker_fault_prefixes(
+    network: Network, config: FaultConfig, report: FaultReport, rng: random.Random
+) -> None:
+    """Pick the prefixes whose supervised-pool task will crash or hang.
+
+    Wheel prefixes are excluded — a prefix that both diverges and kills
+    its worker would make the expected classification ambiguous.  The
+    selection only *names* prefixes (in the report); the actual sabotage
+    happens inside the workers via
+    :class:`repro.parallel.protocol.WorkerFaults`.
+    """
+    wanted = config.worker_crash_prefixes + config.worker_hang_prefixes
+    if wanted <= 0:
+        return
+    wheel_prefixes = {prefix for prefix, _ in report.wheels}
+    candidates = [p for p in network.prefixes() if str(p) not in wheel_prefixes]
+    chosen = rng.sample(candidates, min(wanted, len(candidates)))
+    crash = chosen[: config.worker_crash_prefixes]
+    hang = chosen[config.worker_crash_prefixes :]
+    report.worker_crash.extend(str(p) for p in crash)
+    report.worker_hang.extend(str(p) for p in hang)
+
+
 def apply_faults(network: Network, config: FaultConfig) -> FaultReport:
     """Apply all network-level faults of ``config``; returns what was injected."""
     rng = random.Random(config.seed)
     report = FaultReport(message_budget=config.message_budget)
     flap_sessions(network, config.session_flaps, report, rng)
     inject_dispute_wheels(network, config, report, rng)
+    select_worker_fault_prefixes(network, config, report, rng)
     return report
 
 

@@ -33,6 +33,9 @@ EXIT_DIVERGED = 3
 EXIT_DATA = 4
 """The input data was unusable (corruption above threshold, empty dataset)."""
 
+EXIT_INTERRUPTED = 5
+"""A SIGINT/SIGTERM drained the run gracefully before it finished."""
+
 UNMATCHED_LIMIT = 25
 """At most this many unmatched (origin, path) pairs are named in the report."""
 
@@ -50,6 +53,9 @@ class RunHealth:
     metrics: dict | None = None
     meta: dict | None = None
     errors: list[str] = field(default_factory=list)
+    interrupted: bool = False
+    """True when a graceful signal-driven drain cut the run short; the
+    report then describes a checkpointed partial run, not a finished one."""
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -143,24 +149,28 @@ class RunHealth:
         """Quarantined prefixes, if a simulation phase was recorded.
 
         Includes prefixes the lint gate quarantined statically (status
-        ``unsafe``): either way the model carries no routes for them, so
-        both classes map to :data:`EXIT_DIVERGED`.
+        ``unsafe``) and prefixes the parallel supervisor classified as
+        ``poison`` or ``timeout``: in every case the model carries no
+        routes for them, so all four classes map to :data:`EXIT_DIVERGED`.
         """
         if self.simulation is None:
             return []
-        return list(self.simulation.get("diverged", [])) + list(
-            self.simulation.get("unsafe", [])
-        )
+        prefixes: list[str] = []
+        for key in ("diverged", "unsafe", "poison", "timeout"):
+            prefixes.extend(self.simulation.get(key) or [])
+        return sorted(prefixes)
 
     @property
     def exit_code(self) -> int:
         """The process exit code this run's health maps to.
 
-        Precedence: unusable data > quarantined divergence > refinement
-        stall > clean.
+        Precedence: unusable data > interrupted > quarantined divergence
+        > refinement stall > clean.
         """
         if self.errors:
             return EXIT_DATA
+        if self.interrupted:
+            return EXIT_INTERRUPTED
         if self.diverged_prefixes:
             return EXIT_DIVERGED
         if self.refinement is not None and not self.refinement["converged"]:
@@ -179,6 +189,7 @@ class RunHealth:
             "metrics": self.metrics,
             "meta": self.meta,
             "errors": list(self.errors),
+            "interrupted": self.interrupted,
             "exit_code": self.exit_code,
         }
 

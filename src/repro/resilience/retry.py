@@ -35,6 +35,28 @@ DIVERGED = "diverged"
 UNSAFE = "unsafe"
 """Quarantined by the static lint gate *before* any simulation attempt."""
 
+POISON = "poison"
+"""A supervised worker crashed (or lost its heartbeat) on this prefix on
+every dispatch, exhausting ``max_resubmits`` — the input is classified as
+poisonous and quarantined so a killed worker degrades one prefix, never
+the run (see :mod:`repro.parallel`)."""
+
+TIMEOUT = "timeout"
+"""Every supervised dispatch of this prefix exceeded the per-task
+wall-clock watchdog; the prefix is quarantined as a hang."""
+
+QUARANTINED_STATUSES = (DIVERGED, UNSAFE, POISON, TIMEOUT)
+"""Statuses whose prefixes carry no routes in the final model."""
+
+MAX_BUDGET = 50_000_000
+"""Absolute ceiling on any per-attempt message budget.
+
+``RetryPolicy.budget_cap`` is the *configured* cap, but a caller can set
+it arbitrarily high (or a bug could), and repeated geometric doubling
+would then escalate past any budget a single attempt can usefully spend.
+``first_budget``/``next_budget`` clamp to ``min(budget_cap, MAX_BUDGET)``
+so escalation always plateaus at a documented, sane ceiling."""
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -53,16 +75,24 @@ class RetryPolicy:
     budget_cap: int = 2_000_000
     deadline_seconds: float | None = 30.0
 
+    @property
+    def effective_cap(self) -> int:
+        """The cap escalation actually honours: ``budget_cap`` clamped to
+        the module-wide :data:`MAX_BUDGET` ceiling."""
+        return min(self.budget_cap, MAX_BUDGET)
+
     def first_budget(self, network: Network) -> int:
         """The budget of attempt 1 for ``network``."""
         budget = self.initial_budget
         if budget is None:
             budget = default_message_budget(network)
-        return min(budget, self.budget_cap)
+        return min(budget, self.effective_cap)
 
     def next_budget(self, budget: int) -> int:
-        """The escalated budget following ``budget``."""
-        return min(self.budget_cap, max(budget + 1, int(budget * self.budget_growth)))
+        """The escalated budget following ``budget``, clamped to the cap."""
+        return min(
+            self.effective_cap, max(budget + 1, int(budget * self.budget_growth))
+        )
 
 
 @dataclass
@@ -75,6 +105,9 @@ class PrefixOutcome:
     messages: int
     final_budget: int
     elapsed: float
+    resubmits: int = 0
+    """Times the parallel supervisor re-dispatched the prefix after a
+    worker crash or watchdog kill (always 0 on the sequential path)."""
 
     def to_dict(self) -> dict:
         """JSON-serialisable view."""
@@ -85,6 +118,7 @@ class PrefixOutcome:
             "messages": self.messages,
             "final_budget": self.final_budget,
             "elapsed_seconds": round(self.elapsed, 6),
+            "resubmits": self.resubmits,
         }
 
     @classmethod
@@ -93,6 +127,25 @@ class PrefixOutcome:
         zero messages — no simulation budget was spent at all."""
         return cls(prefix, UNSAFE, attempts=0, messages=0, final_budget=0, elapsed=0.0)
 
+    @classmethod
+    def supervised_failure(
+        cls, prefix: Prefix, status: str, resubmits: int, elapsed: float
+    ) -> "PrefixOutcome":
+        """An outcome for a prefix the parallel supervisor gave up on.
+
+        ``attempts`` counts dispatches (initial + resubmits); no messages
+        or budget are attributed because the workers never reported back.
+        """
+        return cls(
+            prefix,
+            status,
+            attempts=resubmits + 1,
+            messages=0,
+            final_budget=0,
+            elapsed=elapsed,
+            resubmits=resubmits,
+        )
+
 
 @dataclass
 class ResilienceStats:
@@ -100,21 +153,38 @@ class ResilienceStats:
 
     engine: EngineStats = field(default_factory=EngineStats)
     outcomes: list[PrefixOutcome] = field(default_factory=list)
+    supervision: dict | None = None
+    """Worker-supervision counters (spawns, crashes, timeouts, resubmits)
+    attached by :mod:`repro.parallel`; None for sequential runs."""
+
+    def _with_status(self, status: str) -> list[Prefix]:
+        """Prefixes with ``status``, in sorted order (report-stable)."""
+        return sorted(o.prefix for o in self.outcomes if o.status == status)
 
     @property
     def transient(self) -> list[Prefix]:
         """Prefixes that converged only after a budget escalation."""
-        return [o.prefix for o in self.outcomes if o.status == TRANSIENT]
+        return self._with_status(TRANSIENT)
 
     @property
     def diverged(self) -> list[Prefix]:
         """Prefixes quarantined after exhausting the retry policy."""
-        return [o.prefix for o in self.outcomes if o.status == DIVERGED]
+        return self._with_status(DIVERGED)
 
     @property
     def unsafe(self) -> list[Prefix]:
         """Prefixes the static lint gate quarantined without simulating."""
-        return [o.prefix for o in self.outcomes if o.status == UNSAFE]
+        return self._with_status(UNSAFE)
+
+    @property
+    def poison(self) -> list[Prefix]:
+        """Prefixes that repeatedly crashed their supervised worker."""
+        return self._with_status(POISON)
+
+    @property
+    def timed_out(self) -> list[Prefix]:
+        """Prefixes whose every supervised dispatch hit the task watchdog."""
+        return self._with_status(TIMEOUT)
 
     @property
     def retries(self) -> int:
@@ -126,19 +196,39 @@ class ResilienceStats:
         """Total simulation attempts across all prefixes (gated ones cost 0)."""
         return sum(o.attempts for o in self.outcomes)
 
+    @property
+    def resubmits(self) -> int:
+        """Total supervised re-dispatches across all prefixes."""
+        return sum(o.resubmits for o in self.outcomes)
+
     def to_dict(self) -> dict:
-        """JSON-serialisable summary for the RunHealth report."""
+        """JSON-serialisable summary for the RunHealth report.
+
+        Every prefix list (and the per-outcome detail) is sorted by
+        prefix, so health reports and checkpoints diff cleanly across
+        runs regardless of completion order.
+        """
         return {
             "prefixes": len(self.outcomes),
             "messages": self.engine.messages,
             "budget_exhaustions": self.engine.budget_exhaustions,
             "attempts": self.attempts,
             "retries": self.retries,
+            "resubmits": self.resubmits,
             "converged": sum(1 for o in self.outcomes if o.status == CONVERGED),
             "transient": [str(p) for p in self.transient],
             "diverged": [str(p) for p in self.diverged],
             "unsafe": [str(p) for p in self.unsafe],
-            "outcomes": [o.to_dict() for o in self.outcomes if o.status != CONVERGED],
+            "poison": [str(p) for p in self.poison],
+            "timeout": [str(p) for p in self.timed_out],
+            "outcomes": [
+                o.to_dict()
+                for o in sorted(
+                    (o for o in self.outcomes if o.status != CONVERGED),
+                    key=lambda o: (o.prefix, o.status),
+                )
+            ],
+            "supervision": self.supervision,
         }
 
 
@@ -168,7 +258,7 @@ def simulate_prefix_with_retry(
             spent += error.messages_used
             elapsed = time.monotonic() - started
             out_of_attempts = attempt >= policy.max_attempts
-            out_of_budget = budget >= policy.budget_cap
+            out_of_budget = budget >= policy.effective_cap
             out_of_time = (
                 policy.deadline_seconds is not None
                 and elapsed >= policy.deadline_seconds
@@ -230,8 +320,26 @@ def simulate_network_with_retry(
     prefixes: Iterable[Prefix] | None = None,
     config: DecisionConfig = DecisionConfig(),
     policy: RetryPolicy = RetryPolicy(),
+    parallel=None,
 ) -> ResilienceStats:
-    """Simulate every prefix under ``policy``; divergence never aborts the run."""
+    """Simulate every prefix under ``policy``; divergence never aborts the run.
+
+    With ``parallel`` (a :class:`repro.parallel.ParallelConfig` whose
+    ``workers`` exceeds 1) the prefixes are simulated by a supervised
+    worker pool: crashes, hangs and poison inputs degrade individual
+    prefixes instead of the run, and a SIGINT/SIGTERM drains gracefully
+    (raising :class:`~repro.errors.ShutdownRequested` with the partial
+    stats).  ``parallel=None`` or ``workers=1`` keeps today's sequential
+    path bit-for-bit.
+    """
+    if parallel is not None and parallel.workers > 1:
+        # Imported lazily: repro.parallel builds on this module.
+        from repro.parallel.supervisor import simulate_network_supervised
+
+        return simulate_network_supervised(
+            network, prefixes=prefixes, config=config, policy=policy,
+            parallel=parallel,
+        )
     result = ResilienceStats()
     targets = list(prefixes) if prefixes is not None else network.prefixes()
     for prefix in targets:

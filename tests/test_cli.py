@@ -153,3 +153,87 @@ class TestParser:
     def test_unknown_subcommand_errors(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestParallelFlags:
+    def test_refine_with_workers_matches_sequential(
+        self, dump_file, tmp_path, capsys
+    ):
+        seq_report = tmp_path / "seq.json"
+        par_report = tmp_path / "par.json"
+        assert main(
+            ["refine", str(dump_file), "--max-iterations", "5",
+             "--health-report", str(seq_report)]
+        ) in (0, 1)
+        assert main(
+            ["refine", str(dump_file), "--max-iterations", "5",
+             "--workers", "2", "--health-report", str(par_report)]
+        ) in (0, 1)
+        capsys.readouterr()
+        import json
+
+        seq = json.loads(seq_report.read_text())
+        par = json.loads(par_report.read_text())
+        assert par["refinement"] == seq["refinement"]
+        assert par["exit_code"] == seq["exit_code"]
+        assert par["simulation"]["supervision"]["workers"] == 2
+
+    def test_chaos_worker_faults_exit_diverged(self, tmp_path, capsys):
+        report = tmp_path / "health.json"
+        code = main(
+            ["chaos", "--scale", "0.1", "--points", "6",
+             "--dispute-wheels", "0", "--flap-sessions", "0",
+             "--corrupt-fraction", "0", "--truncate-fraction", "0",
+             "--workers", "2", "--kill-prefixes", "1",
+             "--max-resubmits", "1", "--health-report", str(report)]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "poison" in captured.err
+        import json
+
+        health = json.loads(report.read_text())
+        assert health["simulation"]["poison"] == (
+            health["faults"]["worker_crash_prefixes"]
+        )
+        assert health["simulation"]["supervision"]["deaths"] >= 2
+
+    def test_worker_fault_flags_require_workers(self, capsys):
+        assert main(["chaos", "--kill-prefixes", "1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sigterm_drains_to_exit_5(self, tmp_path):
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        report = tmp_path / "health.json"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "chaos",
+             "--scale", "0.15", "--points", "8",
+             "--dispute-wheels", "0", "--flap-sessions", "0",
+             "--workers", "2", "--hang-prefixes", "1",
+             "--task-timeout", "600",
+             "--health-report", str(report)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            time.sleep(5.0)  # well into the simulate phase
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 5
+        health = json.loads(report.read_text())
+        assert health["interrupted"] is True
+        assert health["exit_code"] == 5
+        assert health["simulation"]["supervision"]["drained"] is True

@@ -190,3 +190,47 @@ class TestIterationProvenanceRoundTrip:
             for clause in s.import_map.clauses()
         )
         assert clause.iteration is None
+
+
+class TestSupervisionStats:
+    def _parallel_report(self):
+        from repro.net.prefix import Prefix
+        from repro.resilience.retry import (
+            POISON,
+            TIMEOUT,
+            PrefixOutcome,
+            ResilienceStats,
+        )
+
+        health = RunHealth()
+        stats = ResilienceStats(supervision={
+            "workers": 2, "spawned": 5, "deaths": 3, "restarts": 3,
+            "task_timeouts": 1, "resubmits": 2, "drained": False,
+        })
+        stats.outcomes.append(
+            PrefixOutcome.supervised_failure(Prefix("10.0.0.0/24"), POISON, 2, 1.0)
+        )
+        stats.outcomes.append(
+            PrefixOutcome.supervised_failure(Prefix("10.1.0.0/24"), TIMEOUT, 2, 1.0)
+        )
+        health.record_simulation(stats)
+        return health.to_dict()
+
+    def test_health_stats_slice_has_outcomes_and_supervision(self):
+        document = health_stats(self._parallel_report())
+        assert document["simulation"]["outcomes"]["poison"] == 1
+        assert document["simulation"]["outcomes"]["timeout"] == 1
+        assert document["simulation"]["supervision"]["deaths"] == 3
+
+    def test_render_shows_poison_and_supervision_counters(self):
+        text = render_stats(self._parallel_report())
+        assert "poison" in text
+        assert "timeout" in text
+        assert "supervision:" in text
+        assert "deaths" in text
+        assert "task_timeouts" in text
+
+    def test_render_marks_interrupted_runs(self):
+        report = self._parallel_report()
+        report["interrupted"] = True
+        assert "graceful shutdown" in render_stats(report)

@@ -1,0 +1,98 @@
+"""Property test: the supervised pool is observationally identical to the
+sequential path on healthy inputs — same RIBs, same outcome classification,
+same message counts — for arbitrary synthetic topologies."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.build import build_initial_model
+from repro.core.model import MODEL_DECISION_CONFIG
+from repro.core.refine import RefinementConfig, Refiner
+from repro.data.observation import collect_dataset, select_observation_points
+from repro.data.synthesis import SyntheticConfig, synthesize_internet
+from repro.parallel import ParallelConfig
+from repro.resilience.retry import RetryPolicy, simulate_network_with_retry
+from repro.topology.graph import ASGraph
+
+pytestmark = pytest.mark.timeout(300)
+
+TINY = dict(n_level1=3, n_level2=4, n_other=6, n_stub=10)
+
+
+def loc_rib_fingerprint(network):
+    """Every router's best route per prefix, as comparable attributes."""
+    table = {}
+    for router_id in sorted(network.routers):
+        router = network.routers[router_id]
+        for prefix in sorted(router.loc_rib):
+            route = router.loc_rib[prefix]
+            table[(router_id, str(prefix))] = (
+                route.as_path,
+                route.next_hop,
+                route.local_pref,
+                route.med,
+            )
+    return table
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_parallel_simulation_equals_sequential(seed):
+    config = SyntheticConfig(seed=seed, **TINY)
+    sequential = synthesize_internet(config).network
+    parallel = synthesize_internet(config).network
+
+    policy = RetryPolicy()
+    seq_stats = simulate_network_with_retry(
+        sequential, config=MODEL_DECISION_CONFIG, policy=policy
+    )
+    par_stats = simulate_network_with_retry(
+        parallel, config=MODEL_DECISION_CONFIG, policy=policy,
+        parallel=ParallelConfig(workers=4),
+    )
+
+    assert loc_rib_fingerprint(parallel) == loc_rib_fingerprint(sequential)
+    seq_sorted = sorted(seq_stats.outcomes, key=lambda o: o.prefix)
+    assert [
+        (str(o.prefix), o.status, o.attempts) for o in seq_sorted
+    ] == [(str(o.prefix), o.status, o.attempts) for o in par_stats.outcomes]
+    assert par_stats.engine.messages == seq_stats.engine.messages
+    assert par_stats.engine.per_prefix_messages == (
+        seq_stats.engine.per_prefix_messages
+    )
+
+
+def test_parallel_refinement_equals_sequential():
+    internet = synthesize_internet(SyntheticConfig(seed=11, **TINY))
+    points = select_observation_points(internet, 6, seed=11)
+    dataset = collect_dataset(internet.network, points).cleaned()
+
+    def refine(parallel):
+        graph = ASGraph.from_dataset(dataset)
+        model = build_initial_model(dataset, graph)
+        refiner = Refiner(
+            model,
+            dataset,
+            RefinementConfig(
+                max_iterations=6, retry=RetryPolicy(), parallel=parallel
+            ),
+        )
+        return refiner, refiner.run()
+
+    seq_refiner, seq_result = refine(None)
+    par_refiner, par_result = refine(ParallelConfig(workers=2))
+
+    assert par_result.converged == seq_result.converged
+    assert par_result.iteration_count == seq_result.iteration_count
+    assert par_result.final_match_rate == seq_result.final_match_rate
+    assert loc_rib_fingerprint(par_result.model.network) == loc_rib_fingerprint(
+        seq_result.model.network
+    )
+    assert sorted(
+        (str(o.prefix), o.status) for o in seq_refiner.outcomes
+    ) == sorted((str(o.prefix), o.status) for o in par_refiner.outcomes)

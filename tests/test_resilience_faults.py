@@ -152,4 +152,6 @@ class TestSessionFlaps:
             "corrupted_lines",
             "truncated_lines",
             "message_budget",
+            "worker_crash_prefixes",
+            "worker_hang_prefixes",
         }
