@@ -1,0 +1,18 @@
+"""SERVE: artifact-backed query throughput, emitting BENCH_serve.json."""
+
+from conftest import publish, run_once, write_results
+
+from repro.experiments import serving
+
+
+def test_serve_throughput(benchmark, prepared, workload_name):
+    result = run_once(benchmark, serving.run, prepared)
+    publish(benchmark, result)
+    write_results("BENCH_serve.json", result, workload_name)
+    assert len(result.rows) == 2  # cold + warm regimes
+    assert result.metrics["pairs"] > 0
+    assert result.metrics["warm_hit_rate"] == 1.0
+    # The acceptance bar: a warmed LRU must clear 1000 queries/second.
+    assert result.metrics["qps_warm"] >= 1000
+    # Warm answers must never be slower than cold computes.
+    assert result.metrics["qps_warm"] >= result.metrics["qps_cold"]

@@ -24,6 +24,15 @@ Subcommands mirror the paper's workflow:
   that installed each policy consulted.
 * ``repro stats`` — render the metrics/metadata slice of a JSON health
   report (counters, gauges, histogram percentiles, phase timings).
+* ``repro compile-artifact`` — simulate every canonical prefix of a
+  saved model once (``--workers`` fans out to the supervised pool) and
+  freeze every (origin, observer) answer into a checksummed prediction
+  artifact.
+* ``repro query`` — answer one paths/diversity/lookup question from a
+  compiled artifact, no simulation.
+* ``repro serve`` — serve a compiled artifact over a threaded HTTP/JSON
+  API (GET /paths /diversity /lookup /healthz /metrics) until a
+  SIGINT/SIGTERM drains it gracefully.
 
 Global flags: ``--log-level`` / ``--log-json`` configure the ``repro``
 logger tree; ``refine`` and ``chaos`` accept ``--trace FILE`` to write a
@@ -234,6 +243,60 @@ def build_parser() -> argparse.ArgumentParser:
     whatif.add_argument("--max-changes", type=int, default=10,
                         help="how many changed pairs to print")
     whatif.set_defaults(handler=cmd_whatif)
+
+    compile_ = subparsers.add_parser(
+        "compile-artifact",
+        help="simulate a saved model once and freeze all answers "
+             "into a prediction artifact",
+    )
+    compile_.add_argument("model",
+                          help="model config written by 'repro refine --out'")
+    compile_.add_argument("--out", required=True,
+                          help="artifact file to write")
+    compile_.add_argument("--observers", type=int, nargs="*", metavar="ASN",
+                          help="restrict answers to these observer ASes "
+                               "(default: every AS in the model)")
+    compile_.add_argument("--retry-attempts", type=int, default=3,
+                          help="budget-escalation attempts before a "
+                               "diverging prefix is quarantined")
+    _add_parallel_arguments(compile_)
+    compile_.set_defaults(handler=cmd_compile_artifact)
+
+    query = subparsers.add_parser(
+        "query", help="answer one question from a compiled artifact"
+    )
+    query.add_argument("artifact",
+                       help="artifact written by 'repro compile-artifact'")
+    query.add_argument("--origin", type=int, metavar="ASN",
+                       help="origin AS (with --observer: a paths query)")
+    query.add_argument("--observer", type=int, metavar="ASN", required=True,
+                       help="observer AS answering the question")
+    query.add_argument("--lookup", metavar="IP_OR_PREFIX",
+                       help="longest-prefix-match this address/prefix "
+                            "instead of naming an origin")
+    query.add_argument("--diversity", action="store_true",
+                       help="report the route-diversity summary instead "
+                            "of the raw path set")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the answer as JSON instead of text")
+    query.set_defaults(handler=cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a compiled artifact over HTTP/JSON"
+    )
+    serve.add_argument("artifact",
+                       help="artifact written by 'repro compile-artifact'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="bounded LRU entries in the query cache")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       help="per-connection socket timeout in seconds")
+    serve.add_argument("--stats-report",
+                       help="write a 'repro stats'-renderable JSON report "
+                            "here after the drain")
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 
@@ -625,13 +688,32 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _load_model(path: str) -> ASRoutingModel:
+    """Load a saved model config; raises the load errors unwrapped."""
+    with open(path, "r", encoding="ascii") as handle:
+        network = parse_script(handle)
+    return ASRoutingModel.from_network(network)
+
+
 def cmd_whatif(args) -> int:
     """Handle ``repro whatif``."""
-    with open(args.model, "r", encoding="ascii") as handle:
-        network = parse_script(handle)
-    model = ASRoutingModel.from_network(network)
+    try:
+        model = _load_model(args.model)
+    except (OSError, ParseError, TopologyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
     asn_a, asn_b = args.remove
-    report = depeer(model, asn_a, asn_b)
+    # Validate up front: an ASN outside the model is a usage error named
+    # to the caller, never a silent "no paths changed" report.
+    for asn in (asn_a, asn_b):
+        if asn not in model.network.ases:
+            print(f"error: AS {asn} is not in the model", file=sys.stderr)
+            return 2
+    try:
+        report = depeer(model, asn_a, asn_b)
+    except TopologyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(f"what-if: {report.description}")
     print(
         f"  examined {report.origins_examined} origins x "
@@ -649,6 +731,142 @@ def cmd_whatif(args) -> int:
         else:
             print("    after:  (unreachable)")
     return 0
+
+
+def cmd_compile_artifact(args) -> int:
+    """Handle ``repro compile-artifact``."""
+    from repro.errors import ModelError
+    from repro.serve import compile_artifact
+
+    try:
+        model = _load_model(args.model)
+    except (OSError, ParseError, TopologyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    get_registry().reset()
+    retry = RetryPolicy(max_attempts=max(1, args.retry_attempts))
+    started = time.perf_counter()
+    try:
+        artifact, report = compile_artifact(
+            model,
+            observers=args.observers or None,
+            retry=retry,
+            parallel=_parallel_config(args),
+            meta=run_metadata(argv=getattr(args, "invocation", None)),
+        )
+    except ModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ShutdownRequested as shutdown:
+        print(
+            f"interrupted by signal {shutdown.signum} before the artifact "
+            "was compiled; nothing written", file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    size = artifact.save(args.out)
+    print(
+        f"compiled {len(artifact.origins)} origins x "
+        f"{len(artifact.observers)} observers -> {report.pairs} pairs "
+        f"with paths in {time.perf_counter() - started:.1f}s"
+    )
+    if report.quarantined:
+        print(
+            f"quarantined prefixes (refuse queries): "
+            f"{' '.join(report.quarantined)}",
+            file=sys.stderr,
+        )
+    print(f"wrote {size} bytes to {args.out}")
+    return 3 if report.quarantined else 0
+
+
+def _load_artifact_engine(path: str, cache_size: int = 4096):
+    """Load an artifact into a query engine (raises ``ArtifactError``)."""
+    from repro.serve import PredictionArtifact, QueryEngine
+
+    return QueryEngine(PredictionArtifact.load(path), cache_size=cache_size)
+
+
+def cmd_query(args) -> int:
+    """Handle ``repro query``."""
+    import json
+
+    from repro.errors import ArtifactError
+    from repro.serve.engine import QUARANTINED, QueryError
+
+    if (args.origin is None) == (args.lookup is None):
+        print("error: give exactly one of --origin or --lookup",
+              file=sys.stderr)
+        return 2
+    try:
+        engine = _load_artifact_engine(args.artifact)
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    try:
+        if args.lookup is not None:
+            answer = engine.lookup(args.lookup, args.observer)
+        elif args.diversity:
+            answer = engine.diversity(args.origin, args.observer)
+        else:
+            answer = engine.paths(args.origin, args.observer)
+    except QueryError as error:
+        # Unknown ASNs/targets follow the CLI usage contract: exit 2 with
+        # the offender named.  Quarantined origins are degraded data (3).
+        print(f"error: {error}", file=sys.stderr)
+        return 3 if error.kind == QUARANTINED else 2
+    if args.as_json:
+        print(json.dumps(answer.to_dict(), indent=2, sort_keys=True))
+        return 0
+    payload = answer.to_dict()
+    if "path_count" in payload:  # diversity answer
+        print(f"AS{payload['observer']} -> AS{payload['origin']} "
+              f"({payload['prefix']}): {payload['path_count']} path(s), "
+              f"next hops {payload['next_hops']}, "
+              f"lengths {payload['min_length']}..{payload['max_length']}")
+        return 0
+    label = payload.get("target") or f"AS{payload['origin']}"
+    print(f"AS{payload['observer']} -> {label} "
+          f"({payload.get('matched_prefix') or payload['prefix']}):")
+    if not payload["paths"]:
+        print("  (unreachable)")
+    for path in payload["paths"]:
+        print(f"  {' '.join(map(str, path))}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Handle ``repro serve``."""
+    from repro.errors import ArtifactError
+    from repro.serve import run_server
+
+    get_registry().reset()
+    try:
+        engine = _load_artifact_engine(
+            args.artifact, cache_size=args.cache_size
+        )
+    except (ArtifactError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    try:
+        code = run_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            request_timeout=args.request_timeout,
+        )
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return EXIT_DATA
+    if args.stats_report:
+        health = RunHealth()
+        health.record_meta(
+            run_metadata(argv=getattr(args, "invocation", None))
+        )
+        health.record_metrics()
+        health.write(args.stats_report)
+        print(f"wrote stats report to {args.stats_report}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

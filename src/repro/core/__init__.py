@@ -24,7 +24,14 @@ from repro.core.metrics import (
 )
 from repro.core.split import split_by_observation_points, split_by_origin
 from repro.core.refine import Refiner, RefinementConfig, RefinementResult
-from repro.core.predict import evaluate_model, predict_paths
+from repro.core.predict import (
+    evaluate_model,
+    origin_is_simulated,
+    predict_for_origins,
+    predict_paths,
+    selected_paths,
+    validate_pair,
+)
 from repro.core.whatif import depeer, simulate_link_failure
 
 __all__ = [
@@ -41,7 +48,11 @@ __all__ = [
     "RefinementConfig",
     "RefinementResult",
     "evaluate_model",
+    "origin_is_simulated",
+    "predict_for_origins",
     "predict_paths",
+    "selected_paths",
+    "validate_pair",
     "depeer",
     "simulate_link_failure",
 ]

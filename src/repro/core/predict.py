@@ -8,6 +8,13 @@ and grades the dataset with the Section 4.2 metrics.
 :func:`predict_paths` answers the paper's headline what-if question
 directly: which AS-paths would AS ``observer`` use to reach a prefix of
 AS ``origin``?
+
+:func:`selected_paths` is the shared simulate-then-collect kernel: it
+reads the path set an already-simulated model selects for one
+(origin, observer) pair.  The live prediction API, the what-if snapshots
+and the :mod:`repro.serve` artifact compiler all answer through this one
+code path, so a compiled artifact is equal to the live model by
+construction.
 """
 
 from __future__ import annotations
@@ -16,7 +23,12 @@ from typing import Iterable
 
 from repro.core.metrics import MatchReport, evaluate_dataset
 from repro.core.model import ASRoutingModel
+from repro.errors import ModelError, TopologyError
 from repro.topology.dataset import PathDataset
+
+ON_COLD_RAISE = "raise"
+ON_COLD_SIMULATE = "simulate"
+_ON_COLD_CHOICES = (ON_COLD_RAISE, ON_COLD_SIMULATE)
 
 
 def simulate_for_dataset(model: ASRoutingModel, dataset: PathDataset) -> int:
@@ -48,27 +60,84 @@ def evaluate_model(
     return evaluate_dataset(model, valid)
 
 
-def predict_paths(
-    model: ASRoutingModel,
-    origin_asn: int,
-    observer_asn: int,
-    resimulate: bool = False,
-) -> set[tuple[int, ...]]:
-    """Predicted AS-paths from ``observer_asn`` towards ``origin_asn``.
+def origin_is_simulated(model: ASRoutingModel, origin_asn: int) -> bool:
+    """True when ``origin_asn``'s canonical prefix has live routing state.
 
-    Returns the set of full paths (observer first, origin last) selected
-    by the observer's quasi-routers — the route diversity the model
-    predicts the AS would use and propagate.
+    After a converged simulation every originating quasi-router promotes
+    its local route into its Loc-RIB; before any simulation (or after a
+    quarantine cleared the prefix) none has.  That asymmetry is the cold
+    marker: an origin whose own routers cannot reach its prefix has no
+    trustworthy answers for anyone else either.
     """
     prefix = model.canonical_prefix(origin_asn)
-    if resimulate:
-        model.simulate_origin(origin_asn)
+    originators = model.network.originators(prefix)
+    if not originators:
+        return False
+    return any(
+        model.network.routers[router_id].best(prefix) is not None
+        for router_id in originators
+        if router_id in model.network.routers
+    )
+
+
+def selected_paths(
+    model: ASRoutingModel, origin_asn: int, observer_asn: int
+) -> set[tuple[int, ...]]:
+    """The path set ``observer_asn``'s quasi-routers currently select.
+
+    Pure collection — no simulation, no cold-state checking; callers
+    (:func:`predict_paths`, the what-if snapshots, the artifact compiler)
+    decide how the model got warm.  Returns the set of full paths
+    (observer first, origin last).
+    """
+    prefix = model.canonical_prefix(origin_asn)
     paths: set[tuple[int, ...]] = set()
     for router in model.quasi_routers(observer_asn):
         best = router.best(prefix)
         if best is not None:
             paths.add((observer_asn,) + best.as_path)
     return paths
+
+
+def predict_paths(
+    model: ASRoutingModel,
+    origin_asn: int,
+    observer_asn: int,
+    resimulate: bool = False,
+    on_cold: str = ON_COLD_RAISE,
+) -> set[tuple[int, ...]]:
+    """Predicted AS-paths from ``observer_asn`` towards ``origin_asn``.
+
+    Returns the set of full paths (observer first, origin last) selected
+    by the observer's quasi-routers — the route diversity the model
+    predicts the AS would use and propagate.
+
+    With ``resimulate=False`` the origin's prefix must already carry
+    routing state; a cold prefix (never simulated, or quarantined) either
+    raises :class:`~repro.errors.ModelError` naming the origin
+    (``on_cold="raise"``, the default) or simulates it on the spot
+    (``on_cold="simulate"``).  An empty set is therefore always a real
+    answer — the observer cannot reach the origin — never an artifact of
+    stale state.
+    """
+    if on_cold not in _ON_COLD_CHOICES:
+        raise ValueError(
+            f"on_cold must be one of {_ON_COLD_CHOICES}, got {on_cold!r}"
+        )
+    validate_pair(model, origin_asn, observer_asn)
+    if resimulate:
+        model.simulate_origin(origin_asn)
+    elif not origin_is_simulated(model, origin_asn):
+        if on_cold == ON_COLD_SIMULATE:
+            model.simulate_origin(origin_asn)
+        else:
+            raise ModelError(
+                f"the canonical prefix of AS {origin_asn} has no routing "
+                "state (never simulated, or quarantined); call with "
+                "resimulate=True or on_cold='simulate' instead of trusting "
+                "an empty answer"
+            )
+    return selected_paths(model, origin_asn, observer_asn)
 
 
 def extend_model_for_origins(
@@ -96,10 +165,51 @@ def predict_for_origins(
     model: ASRoutingModel,
     origins: Iterable[int],
     observer_asn: int,
+    strict: bool = False,
+    on_cold: str = ON_COLD_SIMULATE,
 ) -> dict[int, set[tuple[int, ...]]]:
-    """Predicted path sets from one observer towards many origins."""
-    return {
-        origin: predict_paths(model, origin, observer_asn)
-        for origin in origins
-        if origin in model.prefix_by_origin
-    }
+    """Predicted path sets from one observer towards many origins.
+
+    The observer is validated up front: an ASN absent from the model
+    raises :class:`~repro.errors.ModelError` naming it, instead of
+    silently reporting "no paths" for every origin.  Origins not in the
+    model are skipped by default (they grade as unknown, matching
+    :func:`evaluate_model`); ``strict=True`` makes the first unknown
+    origin raise instead.
+    """
+    if observer_asn not in model.network.ases:
+        raise ModelError(
+            f"observer AS {observer_asn} is not in the model; predictions "
+            "for it would be an empty set for every origin"
+        )
+    result: dict[int, set[tuple[int, ...]]] = {}
+    for origin in origins:
+        if origin not in model.prefix_by_origin:
+            if strict:
+                raise TopologyError(
+                    f"AS {origin} originates nothing in the model"
+                )
+            continue
+        result[origin] = predict_paths(
+            model, origin, observer_asn, on_cold=on_cold
+        )
+    return result
+
+
+def validate_pair(
+    model: ASRoutingModel, origin_asn: int, observer_asn: int
+) -> None:
+    """Reject unknown origin/observer ASNs with an error naming them.
+
+    Shared precondition of every prediction entry point (library, CLI and
+    the serving subsystem): raises :class:`~repro.errors.ModelError` for
+    an observer the model does not contain and
+    :class:`~repro.errors.TopologyError` for an origin that originates
+    nothing.
+    """
+    if origin_asn not in model.prefix_by_origin:
+        raise TopologyError(
+            f"AS {origin_asn} originates nothing in the model"
+        )
+    if observer_asn not in model.network.ases:
+        raise ModelError(f"observer AS {observer_asn} is not in the model")

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.model import ASRoutingModel
+from repro.core.predict import selected_paths
 from repro.errors import TopologyError
 
 
@@ -56,14 +57,10 @@ def _snapshot(
     """Best-path sets for every (observer, origin) pair."""
     snapshot: dict[tuple[int, int], frozenset[tuple[int, ...]]] = {}
     for origin in origins:
-        prefix = model.canonical_prefix(origin)
         for observer in observers:
-            paths = set()
-            for router in model.quasi_routers(observer):
-                best = router.best(prefix)
-                if best is not None:
-                    paths.add((observer,) + best.as_path)
-            snapshot[(observer, origin)] = frozenset(paths)
+            snapshot[(observer, origin)] = frozenset(
+                selected_paths(model, origin, observer)
+            )
     return snapshot
 
 

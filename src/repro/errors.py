@@ -46,6 +46,27 @@ class ConvergenceError(SimulationError):
         self.budget = budget
 
 
+class ModelError(ReproError):
+    """Raised when a model query cannot be answered from the model's state.
+
+    Distinct from :class:`TopologyError` (the topology itself is fine):
+    the caller asked a question — e.g. predicted paths for an origin whose
+    prefix was never simulated — that the current routing state cannot
+    answer truthfully.  Returning an empty answer instead would be
+    silently wrong, which is exactly what this error exists to prevent.
+    """
+
+
+class ArtifactError(ReproError):
+    """Raised when a prediction artifact is unreadable, corrupt, or stale.
+
+    Covers every way a compiled artifact can fail to load: bad magic,
+    truncated payload, checksum mismatch, and a schema version this build
+    does not understand.  The message always names the failure so a stale
+    artifact is rejected loudly instead of serving garbage answers.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a refinement checkpoint is missing, corrupt, or incompatible."""
 

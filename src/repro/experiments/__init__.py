@@ -31,6 +31,7 @@ from repro.experiments import (
     table5,
     ablations,
     scaling,
+    serving,
 )
 
 __all__ = [
@@ -56,4 +57,5 @@ __all__ = [
     "chaos",
     "obs",
     "scaling",
+    "serving",
 ]

@@ -1,0 +1,155 @@
+"""Serving-throughput study (``BENCH_serve.json``).
+
+The compile/serve split only earns its keep if artifact-backed answers
+are much cheaper than live simulation: this experiment compiles the
+workload's refined model into a :class:`~repro.serve.artifact.PredictionArtifact`,
+round-trips it through disk, and measures query throughput and latency
+percentiles through the :class:`~repro.serve.engine.QueryEngine` in two
+regimes —
+
+* **cold**: every query misses the LRU (a fresh engine answers each
+  (origin, observer) pair exactly once), and
+* **warm**: the same query mix repeated until the cache absorbs it.
+
+Correctness rides along: every artifact answer is compared against the
+live :func:`~repro.core.predict.predict_paths` path for the sampled
+pairs, so the recorded throughput is the throughput of *right* answers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.predict import predict_paths
+from repro.experiments import models
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import PreparedWorkload
+from repro.serve import PredictionArtifact, QueryEngine, compile_artifact
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float, float]:
+    """Nearest-rank p50/p95/p99 of one latency sample set, in seconds."""
+    ordered = sorted(samples)
+
+    def rank(p: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(p * len(ordered)) - 1))
+        return ordered[index]
+
+    return rank(0.50), rank(0.95), rank(0.99)
+
+
+def _timed_queries(engine: QueryEngine, pairs) -> tuple[float, list[float]]:
+    """Run ``paths`` for every pair; returns (wall seconds, latencies)."""
+    latencies = []
+    started = time.perf_counter()
+    for origin, observer in pairs:
+        begin = time.perf_counter()
+        engine.paths(origin, observer)
+        latencies.append(time.perf_counter() - begin)
+    return time.perf_counter() - started, latencies
+
+
+def run(
+    prepared: PreparedWorkload,
+    warm_rounds: int = 20,
+    artifact_path=None,
+) -> ExperimentResult:
+    """Compile the workload's model and measure serving throughput.
+
+    ``warm_rounds`` controls how many times the query mix repeats in the
+    warm regime.  ``artifact_path`` (optional) makes the disk round-trip
+    land somewhere inspectable instead of a temp directory.
+    """
+    result = ExperimentResult(
+        experiment_id="SERVE",
+        title="Prediction-serving throughput: compiled artifact + LRU cache",
+        headers=["regime", "queries", "seconds", "qps", "p50", "p95", "p99"],
+    )
+    model, _ = models.refined_model(prepared)
+
+    started = time.perf_counter()
+    artifact, report = compile_artifact(model)
+    compile_seconds = time.perf_counter() - started
+    result.metrics["compile_seconds"] = compile_seconds
+    result.metrics["pairs"] = float(report.pairs)
+
+    if artifact_path is None:
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as scratch:
+            path = Path(scratch) / "serve.artifact"
+            size = artifact.save(path)
+            loaded = PredictionArtifact.load(path)
+    else:
+        size = artifact.save(artifact_path)
+        loaded = PredictionArtifact.load(artifact_path)
+    result.metrics["artifact_bytes"] = float(size)
+
+    # The query mix: every (origin, observer) pair with at least one
+    # predicted path, visited in deterministic order.
+    pairs = sorted(loaded.paths)
+    if not pairs:
+        raise AssertionError("artifact holds no answerable pairs")
+
+    # Correctness gate on a deterministic sample before any timing.
+    for origin, observer in pairs[:: max(1, len(pairs) // 50)]:
+        live = predict_paths(model, origin, observer)
+        frozen = set(loaded.paths[(origin, observer)])
+        if frozen != live:
+            raise AssertionError(
+                f"artifact disagrees with live prediction for "
+                f"({origin}, {observer})"
+            )
+
+    cold_engine = QueryEngine(loaded, cache_size=len(pairs) + 1)
+    cold_seconds, cold_latencies = _timed_queries(cold_engine, pairs)
+    cold_qps = len(pairs) / cold_seconds if cold_seconds else float("inf")
+    p50, p95, p99 = _percentiles(cold_latencies)
+    result.add_row(
+        "cold (all misses)", len(pairs), f"{cold_seconds:.3f}s",
+        f"{cold_qps:,.0f}", f"{p50 * 1e6:.0f}us", f"{p95 * 1e6:.0f}us",
+        f"{p99 * 1e6:.0f}us",
+    )
+    result.metrics["qps_cold"] = cold_qps
+    result.metrics["p50_cold_seconds"] = p50
+    result.metrics["p95_cold_seconds"] = p95
+    result.metrics["p99_cold_seconds"] = p99
+
+    warm_engine = QueryEngine(loaded, cache_size=len(pairs) + 1)
+    _timed_queries(warm_engine, pairs)  # populate the LRU
+    populated = warm_engine.cache_stats()
+    warm_total, warm_latencies = 0.0, []
+    for _ in range(warm_rounds):
+        seconds, latencies = _timed_queries(warm_engine, pairs)
+        warm_total += seconds
+        warm_latencies.extend(latencies)
+    warm_queries = len(pairs) * warm_rounds
+    warm_qps = warm_queries / warm_total if warm_total else float("inf")
+    p50, p95, p99 = _percentiles(warm_latencies)
+    result.add_row(
+        "warm (LRU hits)", warm_queries, f"{warm_total:.3f}s",
+        f"{warm_qps:,.0f}", f"{p50 * 1e6:.0f}us", f"{p95 * 1e6:.0f}us",
+        f"{p99 * 1e6:.0f}us",
+    )
+    result.metrics["qps_warm"] = warm_qps
+    result.metrics["p50_warm_seconds"] = p50
+    result.metrics["p95_warm_seconds"] = p95
+    result.metrics["p99_warm_seconds"] = p99
+
+    hit_stats = warm_engine.cache_stats()
+    timed_queries = hit_stats["queries"] - populated["queries"]
+    result.metrics["warm_hit_rate"] = (
+        (hit_stats["hits"] - populated["hits"]) / timed_queries
+        if timed_queries else 0.0
+    )
+    result.note(
+        f"compiled {report.pairs} pairs in {compile_seconds:.1f}s "
+        f"({size} bytes on disk); artifact answers verified against live "
+        "prediction on a deterministic sample before timing"
+    )
+    result.note(
+        "cold = fresh engine, every query a cache miss; warm = same mix "
+        f"repeated {warm_rounds}x against a populated LRU"
+    )
+    return result

@@ -10,7 +10,7 @@ covering relationships between real-world prefixes.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, TypeVar
+from typing import Generic, Iterable, Iterator, TypeVar
 
 from repro.net.prefix import Prefix
 
@@ -33,6 +33,18 @@ class PrefixTrie(Generic[V]):
     def __init__(self):
         self._root: _Node[V] = _Node()
         self._size = 0
+
+    @classmethod
+    def from_items(cls, items: "Iterable[tuple[Prefix, V]]") -> "PrefixTrie[V]":
+        """Build a trie from (prefix, value) pairs (later pairs win).
+
+        The bulk constructor the serving layer uses to materialise a
+        longest-prefix-match table from an artifact's prefix list.
+        """
+        trie: "PrefixTrie[V]" = cls()
+        for prefix, value in items:
+            trie.insert(prefix, value)
+        return trie
 
     def __len__(self) -> int:
         return self._size

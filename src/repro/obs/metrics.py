@@ -15,7 +15,10 @@ engine, the registry is single-threaded by design.
 from __future__ import annotations
 
 import math
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -57,6 +60,19 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one observation."""
         self.values.append(float(value))
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall-clock of a block: ``with histo.time(): ...``.
+
+        The serving layer wraps each query with this so latency
+        percentiles accumulate without per-call-site clock bookkeeping.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
 
     @property
     def count(self) -> int:

@@ -1,0 +1,53 @@
+"""Prediction serving: compile once, answer cheaply, serve over HTTP.
+
+The ROADMAP's read path.  Every question the refined model can answer —
+"which AS-paths would observer X use to reach origin Y?" — used to cost
+a full per-prefix simulation through :mod:`repro.core.predict`.  This
+package splits that cost in two:
+
+* :mod:`repro.serve.compile` — simulate every canonical prefix *once*
+  (optionally through the supervised parallel pool) and freeze every
+  (origin, observer) answer into a versioned, checksummed
+  :class:`~repro.serve.artifact.PredictionArtifact` file.
+* :mod:`repro.serve.engine` — load an artifact read-only and answer
+  ``paths`` / ``diversity`` / ``lookup`` (plus batch variants) through a
+  bounded LRU cache, with ``serve.*`` metrics flowing through the
+  observability registry.
+* :mod:`repro.serve.http` — a stdlib-only threaded HTTP/JSON API
+  (``repro serve``) with structured errors and a graceful
+  SIGINT/SIGTERM drain.
+
+CLI: ``repro compile-artifact``, ``repro query``, ``repro serve``.
+"""
+
+from repro.serve.artifact import (
+    MAGIC,
+    SCHEMA_VERSION,
+    PredictionArtifact,
+    build_artifact,
+)
+from repro.serve.compile import CompileReport, compile_artifact
+from repro.serve.engine import (
+    DiversityAnswer,
+    LookupAnswer,
+    PathsAnswer,
+    QueryEngine,
+    QueryError,
+)
+from repro.serve.http import PredictionServer, run_server
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "CompileReport",
+    "DiversityAnswer",
+    "LookupAnswer",
+    "PathsAnswer",
+    "PredictionArtifact",
+    "PredictionServer",
+    "QueryEngine",
+    "QueryError",
+    "build_artifact",
+    "compile_artifact",
+    "run_server",
+]

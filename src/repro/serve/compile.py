@@ -1,0 +1,139 @@
+"""Compile a refined model into a prediction artifact.
+
+The expensive half of the serving split: simulate every canonical prefix
+of an :class:`~repro.core.model.ASRoutingModel` exactly once (through the
+resilient retry layer, and through the supervised parallel pool when a
+:class:`~repro.parallel.ParallelConfig` is given), then collect the
+selected path set of every (origin, observer) pair via the same
+:func:`repro.core.predict.selected_paths` code path the live prediction
+API uses.  Equality between artifact answers and live answers is
+therefore structural, not coincidental — both read the same Loc-RIBs
+through the same collector.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.model import ASRoutingModel
+from repro.core.predict import selected_paths
+from repro.errors import ModelError
+from repro.net.prefix import Prefix
+from repro.obs.meta import run_metadata
+from repro.obs.metrics import get_registry
+from repro.resilience.retry import ResilienceStats, RetryPolicy
+from repro.serve.artifact import PredictionArtifact, build_artifact
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class CompileReport:
+    """What one compilation did, for logs and health reporting."""
+
+    prefixes: int = 0
+    converged: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    pairs: int = 0
+    simulate_seconds: float = 0.0
+    collect_seconds: float = 0.0
+    stats: ResilienceStats | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary."""
+        return {
+            "prefixes": self.prefixes,
+            "converged": self.converged,
+            "quarantined": sorted(self.quarantined),
+            "pairs": self.pairs,
+            "simulate_seconds": round(self.simulate_seconds, 6),
+            "collect_seconds": round(self.collect_seconds, 6),
+        }
+
+
+def compile_artifact(
+    model: ASRoutingModel,
+    observers: Iterable[int] | None = None,
+    retry: RetryPolicy | None = None,
+    parallel=None,
+    meta: dict | None = None,
+) -> tuple[PredictionArtifact, CompileReport]:
+    """Simulate ``model`` once and freeze every answer into an artifact.
+
+    ``observers`` restricts the answer set (default: every AS in the
+    model).  ``parallel`` (a :class:`~repro.parallel.ParallelConfig`)
+    fans the per-prefix simulation out to the PR-4 supervised pool;
+    ``retry`` controls budget escalation for diverging prefixes.
+    Prefixes that still diverge (or get classified poison/timeout by the
+    supervisor) are recorded as quarantined: the artifact refuses queries
+    for their origins instead of freezing empty answers.
+
+    Raises :class:`~repro.errors.ShutdownRequested` if a SIGINT/SIGTERM
+    drains the parallel phase, exactly like ``repro refine --workers``.
+    """
+    observer_list = (
+        sorted(observers) if observers is not None
+        else sorted(model.network.ases)
+    )
+    unknown = [asn for asn in observer_list if asn not in model.network.ases]
+    if unknown:
+        raise ModelError(
+            f"observer AS {unknown[0]} is not in the model; cannot compile "
+            "answers for it"
+        )
+    registry = get_registry()
+    report = CompileReport(prefixes=len(model.prefix_by_origin))
+
+    started = time.perf_counter()
+    stats = model.simulate_all_resilient(
+        policy=retry or RetryPolicy(), parallel=parallel
+    )
+    report.simulate_seconds = time.perf_counter() - started
+    report.stats = stats
+    quarantined: set[Prefix] = set(
+        stats.diverged + stats.unsafe + stats.poison + stats.timed_out
+    )
+    report.quarantined = sorted(str(prefix) for prefix in quarantined)
+    report.converged = report.prefixes - len(quarantined)
+    registry.counter("serve.compile.prefixes").inc(report.prefixes)
+    registry.counter("serve.compile.quarantined").inc(len(quarantined))
+    if quarantined:
+        logger.warning(
+            "compiling around %d quarantined prefix(es): %s",
+            len(quarantined), " ".join(report.quarantined),
+        )
+
+    started = time.perf_counter()
+    paths: dict[tuple[int, int], set[tuple[int, ...]]] = {}
+    for origin in sorted(model.prefix_by_origin):
+        if model.prefix_by_origin[origin] in quarantined:
+            continue
+        for observer in observer_list:
+            selected = selected_paths(model, origin, observer)
+            if selected:
+                paths[(origin, observer)] = selected
+    report.collect_seconds = time.perf_counter() - started
+    report.pairs = len(paths)
+    registry.counter("serve.compile.pairs").inc(report.pairs)
+    registry.histogram("serve.compile.seconds").observe(
+        report.simulate_seconds + report.collect_seconds
+    )
+
+    artifact = build_artifact(
+        origins=dict(model.prefix_by_origin),
+        observers=observer_list,
+        paths=paths,
+        quarantined=quarantined,
+        meta=meta if meta is not None else run_metadata(),
+        model_stats=model.stats(),
+    )
+    logger.info(
+        "compiled artifact: %d origins x %d observers, %d pairs with paths, "
+        "%d quarantined, %.1fs simulate + %.1fs collect",
+        len(artifact.origins), len(artifact.observers), report.pairs,
+        len(quarantined), report.simulate_seconds, report.collect_seconds,
+    )
+    return artifact, report

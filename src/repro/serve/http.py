@@ -1,0 +1,310 @@
+"""The ``repro serve`` HTTP/JSON API (stdlib only).
+
+A :class:`PredictionServer` wraps one :class:`~repro.serve.engine.QueryEngine`
+in a threaded ``http.server`` with five GET endpoints::
+
+    /paths?origin=ASN&observer=ASN        predicted AS-path set
+    /diversity?origin=ASN&observer=ASN    route-diversity summary
+    /lookup?target=IP|CIDR&observer=ASN   longest-prefix-match + paths
+    /healthz                              liveness + artifact summary
+    /metrics                              metrics-registry snapshot
+
+Every response body is JSON.  Failures are structured, not stack traces:
+``{"error": {"status": 400, "kind": "...", "message": "..."}}`` with 400
+for malformed requests, 404 for unknown ASNs/targets, 503 for origins
+the compiler quarantined, and 500 (with the exception name, not the
+traceback) for anything unexpected.  Each connection gets a socket
+timeout so a stuck client cannot pin a handler thread forever.
+
+Shutdown mirrors the PR-4 supervised-pool contract: SIGINT/SIGTERM stops
+accepting, in-flight requests get a bounded grace period to finish
+(``block_on_close`` + non-daemon handler threads), a ``drain`` event and
+counter flow through the observability layer, and :func:`run_server`
+returns cleanly so the CLI can exit 0 — a server asked to stop that
+stops *is* success.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro import __version__
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.serve.engine import (
+    BAD_TARGET,
+    QUARANTINED,
+    UNKNOWN_OBSERVER,
+    UNKNOWN_ORIGIN,
+    UNKNOWN_TARGET,
+    QueryEngine,
+    QueryError,
+)
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_PORT = 8321
+DEFAULT_REQUEST_TIMEOUT = 10.0
+
+_STATUS_BY_KIND = {
+    UNKNOWN_ORIGIN: 404,
+    UNKNOWN_OBSERVER: 404,
+    UNKNOWN_TARGET: 404,
+    BAD_TARGET: 400,
+    QUARANTINED: 503,
+}
+
+EVENT_SERVE_DRAIN = "serve-drain"
+"""Tracer event emitted when a signal starts the drain."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the server instance carries the engine and counters."""
+
+    server: "PredictionServer"
+    protocol_version = "HTTP/1.1"
+    # Set per-server in PredictionServer.__init__ (socket read timeout).
+    timeout = DEFAULT_REQUEST_TIMEOUT
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            handler = self.server.routes.get(route)
+            if handler is None:
+                self._send_error(
+                    404, "unknown-route",
+                    f"no such endpoint {route!r}; try /paths /diversity "
+                    "/lookup /healthz /metrics",
+                )
+                return
+            status, body = handler(self, query)
+            self._send_json(status, body)
+        except QueryError as error:
+            self._send_error(
+                _STATUS_BY_KIND.get(error.kind, 400), error.kind, str(error)
+            )
+        except BrokenPipeError:
+            pass  # client went away mid-response; nothing to answer
+        except Exception as error:  # noqa: BLE001 - 500 boundary
+            logger.exception("unhandled error serving %s", self.path)
+            self._send_error(
+                500, "internal-error",
+                f"{type(error).__name__} while serving {route}",
+            )
+        finally:
+            self.server.request_seconds.observe(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies (return (status, payload))
+    # ------------------------------------------------------------------
+
+    def _endpoint_paths(self, query: dict) -> tuple[int, dict]:
+        origin = self._asn_param(query, "origin")
+        observer = self._asn_param(query, "observer")
+        return 200, self.server.engine.paths(origin, observer).to_dict()
+
+    def _endpoint_diversity(self, query: dict) -> tuple[int, dict]:
+        origin = self._asn_param(query, "origin")
+        observer = self._asn_param(query, "observer")
+        return 200, self.server.engine.diversity(origin, observer).to_dict()
+
+    def _endpoint_lookup(self, query: dict) -> tuple[int, dict]:
+        target = self._str_param(query, "target")
+        observer = self._asn_param(query, "observer")
+        return 200, self.server.engine.lookup(target, observer).to_dict()
+
+    def _endpoint_healthz(self, query: dict) -> tuple[int, dict]:
+        del query
+        server = self.server
+        return 200, {
+            "status": "draining" if server.draining.is_set() else "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - server.started_at, 3),
+            "artifact": server.engine.describe(),
+            "cache": server.engine.cache_stats(),
+        }
+
+    def _endpoint_metrics(self, query: dict) -> tuple[int, dict]:
+        del query
+        return 200, get_registry().snapshot()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _asn_param(self, query: dict, name: str) -> int:
+        raw = self._str_param(query, name)
+        try:
+            return int(raw)
+        except ValueError:
+            raise QueryError(
+                BAD_TARGET, f"query parameter {name}={raw!r} is not an ASN"
+            ) from None
+
+    def _str_param(self, query: dict, name: str) -> str:
+        values = query.get(name)
+        if not values or not values[0]:
+            raise QueryError(
+                BAD_TARGET, f"missing required query parameter {name!r}"
+            )
+        return values[0]
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.responses.inc()
+
+    def _send_error(self, status: int, kind: str, message: str) -> None:
+        self.server.error_responses.inc()
+        self._send_json(
+            status,
+            {"error": {"status": status, "kind": kind, "message": message}},
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+# Route table: bound methods are looked up per request so handler
+# subclassing in tests stays possible.
+_ROUTES: dict[str, Callable] = {
+    "/paths": _Handler._endpoint_paths,
+    "/diversity": _Handler._endpoint_diversity,
+    "/lookup": _Handler._endpoint_lookup,
+    "/healthz": _Handler._endpoint_healthz,
+    "/metrics": _Handler._endpoint_metrics,
+}
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one query engine.
+
+    Handler threads are non-daemon and ``block_on_close`` is on, so
+    :meth:`drain` (shutdown + close) waits for in-flight requests — the
+    graceful part of the shutdown contract.  The per-connection socket
+    timeout bounds how long that wait can take.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.engine = engine
+        self.routes = dict(_ROUTES)
+        self.started_at = time.monotonic()
+        self.draining = threading.Event()
+        registry = get_registry()
+        self.responses = registry.counter("serve.http_responses")
+        self.error_responses = registry.counter("serve.http_errors")
+        self.request_seconds = registry.histogram("serve.request_seconds")
+        handler = type(
+            "_BoundHandler", (_Handler,), {"timeout": request_timeout}
+        )
+        super().__init__((host, port), handler)
+
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` (port resolved when 0 was requested)."""
+        host, port = self.server_address[:2]
+        return f"{host}:{port}"
+
+    def drain(self, signum: int | None = None) -> None:
+        """Stop accepting, finish in-flight requests, close sockets."""
+        if self.draining.is_set():
+            return
+        self.draining.set()
+        get_registry().counter("serve.drains").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(EVENT_SERVE_DRAIN, signal=signum, address=self.address)
+        logger.warning(
+            "draining on signal %s: no new connections, in-flight requests "
+            "get up to the request timeout to finish", signum,
+        )
+        self.shutdown()      # stops the serve_forever loop
+        self.server_close()  # block_on_close waits for handler threads
+
+
+def run_server(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ready: threading.Event | None = None,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Serve until SIGINT/SIGTERM, then drain gracefully; returns 0.
+
+    The accept loop runs in a worker thread while the calling thread
+    waits for the stop event, so a signal handler (which Python always
+    runs on the main thread) can trigger ``shutdown()`` without
+    deadlocking the loop it interrupts.  ``ready`` (if given) is set once
+    the socket is bound and accepting — tests use it to know when to
+    connect.
+    """
+    stop = threading.Event()
+    received: list[int] = []
+
+    def handle_signal(signum, frame):  # noqa: ARG001 - signal signature
+        received.append(signum)
+        stop.set()
+
+    server = PredictionServer(
+        engine, host=host, port=port, request_timeout=request_timeout
+    )
+    previous = {}
+    if install_signal_handlers:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handle_signal)
+            except ValueError:  # not the main thread
+                break
+    loop = threading.Thread(
+        target=server.serve_forever, name="repro-serve-accept", daemon=False
+    )
+    loop.start()
+    logger.info("serving predictions on http://%s", server.address)
+    print(f"serving predictions on http://{server.address}", flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        stop.wait()
+    finally:
+        signum = received[0] if received else None
+        server.drain(signum)
+        loop.join()
+        for restored_signum, handler in previous.items():
+            signal.signal(restored_signum, handler)
+        stats = engine.cache_stats()
+        print(
+            f"drained on signal {signum}: served {stats['queries']} "
+            f"quer{'y' if stats['queries'] == 1 else 'ies'} "
+            f"({stats['hits']} cache hits), shut down cleanly",
+            flush=True,
+        )
+    return 0

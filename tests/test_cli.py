@@ -237,3 +237,119 @@ class TestParallelFlags:
         assert health["interrupted"] is True
         assert health["exit_code"] == 5
         assert health["simulation"]["supervision"]["drained"] is True
+
+
+class TestWhatIfValidation:
+    @pytest.fixture(scope="class")
+    def model_file(self, dump_file, tmp_path_factory):
+        path = tmp_path_factory.mktemp("whatif") / "model.cbgp"
+        assert main(["refine", str(dump_file), "--out", str(path)]) == 0
+        return path
+
+    def test_unknown_asn_is_a_usage_error_naming_it(
+        self, model_file, capsys
+    ):
+        code = main(["whatif", str(model_file), "--remove", "10", "64999"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "AS 64999" in captured.err
+        assert "changed pairs" not in captured.out
+
+    def test_unknown_edge_between_known_ases_is_usage_error(
+        self, model_file, capsys
+    ):
+        # Both ASNs exist but may not peer; either way never exit 0 with
+        # a silent "nothing changed" report for bad input.
+        code = main(["whatif", str(model_file), "--remove", "10", "11"])
+        assert code in (0, 2)
+
+    def test_missing_model_is_a_data_error(self, tmp_path, capsys):
+        code = main(
+            ["whatif", str(tmp_path / "nope.cbgp"), "--remove", "1", "2"]
+        )
+        assert code == 4
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    @pytest.fixture(scope="class")
+    def artifact_file(self, dump_file, tmp_path_factory):
+        base = tmp_path_factory.mktemp("artifact")
+        model = base / "model.cbgp"
+        artifact = base / "pred.artifact"
+        assert main(["refine", str(dump_file), "--out", str(model)]) == 0
+        assert main(
+            ["compile-artifact", str(model), "--out", str(artifact)]
+        ) == 0
+        return artifact
+
+    def test_compile_artifact_writes_loadable_file(
+        self, artifact_file, capsys
+    ):
+        from repro.serve import PredictionArtifact
+
+        artifact = PredictionArtifact.load(artifact_file)
+        assert artifact.pair_count > 0
+        assert artifact.meta["argv"]  # run-metadata stamp present
+
+    def test_compile_artifact_unknown_observer_exits_2(
+        self, dump_file, tmp_path, capsys
+    ):
+        model = tmp_path / "model.cbgp"
+        assert main(["refine", str(dump_file), "--out", str(model)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["compile-artifact", str(model), "--out",
+             str(tmp_path / "a.artifact"), "--observers", "64999"]
+        )
+        assert code == 2
+        assert "64999" in capsys.readouterr().err
+
+    def test_query_paths(self, artifact_file, capsys):
+        code = main(
+            ["query", str(artifact_file), "--origin", "10",
+             "--observer", "11"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "AS11 -> AS10" in captured
+
+    def test_query_json_matches_live_schema(self, artifact_file, capsys):
+        import json
+
+        code = main(
+            ["query", str(artifact_file), "--origin", "10",
+             "--observer", "11", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["origin"] == 10
+        assert payload["reachable"] is True
+
+    def test_query_unknown_origin_exits_2_naming_it(
+        self, artifact_file, capsys
+    ):
+        code = main(
+            ["query", str(artifact_file), "--origin", "64999",
+             "--observer", "11"]
+        )
+        assert code == 2
+        assert "64999" in capsys.readouterr().err
+
+    def test_query_requires_exactly_one_question(self, artifact_file, capsys):
+        assert main(
+            ["query", str(artifact_file), "--observer", "11"]
+        ) == 2
+        assert main(
+            ["query", str(artifact_file), "--origin", "10",
+             "--lookup", "0.10.0.1", "--observer", "11"]
+        ) == 2
+
+    def test_query_corrupt_artifact_exits_4(self, tmp_path, capsys):
+        bogus = tmp_path / "bad.artifact"
+        bogus.write_bytes(b"definitely not an artifact")
+        code = main(
+            ["query", str(bogus), "--origin", "10", "--observer", "11"]
+        )
+        assert code == 4
+        assert "artifact" in capsys.readouterr().err

@@ -4,14 +4,17 @@ import pytest
 
 from repro.core.build import build_initial_model
 from repro.core.predict import (
+    ON_COLD_SIMULATE,
     evaluate_model,
+    origin_is_simulated,
     predict_for_origins,
     predict_paths,
+    selected_paths,
     simulate_for_dataset,
 )
 from repro.core.refine import Refiner
 from repro.core.whatif import depeer, simulate_link_failure
-from repro.errors import TopologyError
+from repro.errors import ModelError, TopologyError
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
 from repro.topology.dataset import ObservedRoute, PathDataset
@@ -54,6 +57,63 @@ class TestPredictPaths:
         model.simulate_all()
         result = predict_for_origins(model, [4, 999], 1)
         assert set(result) == {4}
+
+    def test_predict_for_origins_strict_names_unknown(self, refined_diamond):
+        model, _ = refined_diamond
+        model.simulate_all()
+        with pytest.raises(TopologyError, match="999"):
+            predict_for_origins(model, [4, 999], 1, strict=True)
+
+    def test_predict_for_origins_rejects_unknown_observer(
+        self, refined_diamond
+    ):
+        model, _ = refined_diamond
+        with pytest.raises(ModelError, match="999"):
+            predict_for_origins(model, [4], 999)
+
+
+class TestColdState:
+    """predict_paths on a never-simulated origin must not lie."""
+
+    def test_cold_origin_raises_naming_the_origin(self):
+        ds = dataset_from_paths((1, 2, 4), (1, 3, 4))
+        model = build_initial_model(ds)  # built, never simulated
+        assert not origin_is_simulated(model, 4)
+        with pytest.raises(ModelError, match="AS 4"):
+            predict_paths(model, 4, 1)
+
+    def test_cold_origin_can_simulate_on_demand(self):
+        ds = dataset_from_paths((1, 2, 4))
+        model = build_initial_model(ds)
+        assert not origin_is_simulated(model, 4)
+        paths = predict_paths(model, 4, 1, on_cold=ON_COLD_SIMULATE)
+        assert paths == {(1, 2, 4)}
+        assert origin_is_simulated(model, 4)
+
+    def test_warm_origin_answers_without_resimulating(self, refined_diamond):
+        model, _ = refined_diamond
+        assert origin_is_simulated(model, 4)
+        assert predict_paths(model, 4, 1) == {(1, 2, 4), (1, 3, 4)}
+
+    def test_resimulate_overrides_cold_check(self):
+        ds = dataset_from_paths((1, 2, 4))
+        model = build_initial_model(ds)
+        assert predict_paths(model, 4, 1, resimulate=True) == {(1, 2, 4)}
+
+    def test_unknown_origin_is_a_topology_error(self, refined_diamond):
+        model, _ = refined_diamond
+        with pytest.raises(TopologyError, match="999"):
+            predict_paths(model, 999, 1)
+
+    def test_unknown_observer_is_a_model_error(self, refined_diamond):
+        model, _ = refined_diamond
+        with pytest.raises(ModelError, match="999"):
+            predict_paths(model, 4, 999, resimulate=True)
+
+    def test_selected_paths_matches_predict(self, refined_diamond):
+        model, _ = refined_diamond
+        model.simulate_all()
+        assert selected_paths(model, 4, 1) == predict_paths(model, 4, 1)
 
 
 class TestEvaluateModel:

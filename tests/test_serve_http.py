@@ -1,0 +1,206 @@
+"""Tests for the ``repro serve`` HTTP API and its shutdown contract."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.net.prefix import prefix_for_asn
+from repro.obs.metrics import get_registry
+from repro.serve import PredictionServer, QueryEngine, build_artifact
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+@pytest.fixture
+def artifact():
+    return build_artifact(
+        origins={4: prefix_for_asn(4), 7: prefix_for_asn(7)},
+        observers=[1, 2, 3, 4],
+        paths={
+            (4, 1): {(1, 2, 4), (1, 3, 4)},
+            (4, 2): {(2, 4)},
+        },
+        quarantined=[prefix_for_asn(7)],
+        meta={"argv": ["test"]},
+    )
+
+
+@pytest.fixture
+def server(artifact):
+    """A PredictionServer accepting on an ephemeral port, drained at exit."""
+    engine = QueryEngine(artifact, cache_size=16)
+    instance = PredictionServer(engine, host="127.0.0.1", port=0)
+    loop = threading.Thread(target=instance.serve_forever, daemon=True)
+    loop.start()
+    yield instance
+    instance.drain()
+    loop.join(timeout=10)
+
+
+def get(server, path):
+    """GET a path; returns (status, parsed JSON body) without raising."""
+    url = f"http://{server.address}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class TestEndpoints:
+    def test_paths_ok(self, server):
+        status, body = get(server, "/paths?origin=4&observer=1")
+        assert status == 200
+        assert body["reachable"] is True
+        assert body["paths"] == [[1, 2, 4], [1, 3, 4]]
+
+    def test_diversity_ok(self, server):
+        status, body = get(server, "/diversity?origin=4&observer=1")
+        assert status == 200
+        assert body["path_count"] == 2
+        assert body["multipath"] is True
+
+    def test_lookup_ok(self, server):
+        target = str(prefix_for_asn(4)).split("/")[0]
+        status, body = get(server, f"/lookup?target={target}&observer=2")
+        assert status == 200
+        assert body["origin"] == 4
+        assert body["paths"] == [[2, 4]]
+
+    def test_unknown_origin_404(self, server):
+        status, body = get(server, "/paths?origin=999&observer=1")
+        assert status == 404
+        assert body["error"]["kind"] == "unknown-origin"
+        assert "999" in body["error"]["message"]
+
+    def test_unknown_observer_404(self, server):
+        status, body = get(server, "/paths?origin=4&observer=999")
+        assert status == 404
+        assert body["error"]["kind"] == "unknown-observer"
+
+    def test_non_numeric_asn_400(self, server):
+        status, body = get(server, "/paths?origin=abc&observer=1")
+        assert status == 400
+        assert body["error"]["kind"] == "bad-target"
+
+    def test_missing_parameter_400(self, server):
+        status, body = get(server, "/paths?origin=4")
+        assert status == 400
+        assert "observer" in body["error"]["message"]
+
+    def test_quarantined_origin_503(self, server):
+        status, body = get(server, "/paths?origin=7&observer=1")
+        assert status == 503
+        assert body["error"]["kind"] == "quarantined"
+
+    def test_unknown_route_404(self, server):
+        status, body = get(server, "/frobnicate")
+        assert status == 404
+        assert body["error"]["kind"] == "unknown-route"
+
+    def test_healthz(self, server):
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["artifact"]["origins"] == 2
+        assert body["artifact"]["quarantined"] == 1
+        assert "cache" in body
+
+    def test_metrics_snapshot(self, server):
+        assert get(server, "/paths?origin=4&observer=1")[0] == 200
+        status, body = get(server, "/metrics")
+        assert status == 200
+        assert body["counters"]["serve.queries"] >= 1
+        assert body["counters"]["serve.http_responses"] >= 1
+
+
+class TestConcurrency:
+    def test_concurrent_queries_share_the_lru(self, server):
+        results = []
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(10):
+                    results.append(get(server, "/paths?origin=4&observer=1"))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 60
+        assert all(status == 200 for status, _ in results)
+        stats = server.engine.cache_stats()
+        assert stats["queries"] == 60
+        assert stats["misses"] == 1  # one cold compute, 59 LRU hits
+        assert stats["hits"] == 59
+
+
+class TestServeCommand:
+    """End-to-end: ``repro serve`` drains cleanly on SIGTERM (exit 0)."""
+
+    @pytest.fixture(scope="class")
+    def artifact_file(self, tmp_path_factory):
+        from repro.cli import main
+
+        base = tmp_path_factory.mktemp("serve")
+        dump = base / "snap.dump"
+        model = base / "model.cbgp"
+        artifact = base / "pred.artifact"
+        assert main(
+            ["synthesize", "--seed", "5", "--scale", "0.15",
+             "--points", "8", "--out", str(dump)]
+        ) == 0
+        assert main(["refine", str(dump), "--out", str(model)]) == 0
+        assert main(
+            ["compile-artifact", str(model), "--out", str(artifact)]
+        ) == 0
+        return artifact
+
+    def test_sigterm_drains_to_exit_0(self, artifact_file, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        report = tmp_path / "serve_health.json"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(artifact_file),
+             "--port", "0", "--stats-report", str(report)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            assert banner.startswith("serving predictions on http://")
+            address = banner.rsplit("http://", 1)[1]
+            with urllib.request.urlopen(
+                f"http://{address}/healthz", timeout=10
+            ) as response:
+                assert json.load(response)["status"] == "ok"
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 0
+        health = json.loads(report.read_text())
+        assert health["metrics"]["counters"]["serve.http_responses"] >= 1
+        assert health["metrics"]["counters"]["serve.drains"] == 1
