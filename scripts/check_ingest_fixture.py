@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Assert the dirty-fixture ingest report matches its known composition.
+
+CI runs ``repro ingest tests/fixtures/dirty_feed.dump --report <json>``
+and then this script against the JSON report.  The fixture is built with
+an exact mix of damage (see the fixture's comment header); any drift in
+the parser or sanitization passes that changes how a line is classified
+fails this check with a field-by-field diff.
+
+    python scripts/check_ingest_fixture.py ingest-report.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+EXPECTED = {
+    "lines": 23,
+    "accepted": 10,
+    "quarantined": {
+        "as-set": 2,
+        "bad-path": 1,
+        "bad-peer-as": 1,
+        "bad-prefix": 1,
+        "bogon-asn": 2,
+        "malformed-fields": 2,
+        "martian-prefix": 1,
+        "path-loop": 1,
+        "peer-mismatch": 1,
+        "undecodable-bytes": 1,
+    },
+    "modified": {"prepend-collapse": 2},
+}
+
+
+def check(report: dict) -> list[str]:
+    """Return a list of mismatch descriptions (empty = pass)."""
+    problems: list[str] = []
+    for key, expected in EXPECTED.items():
+        actual = report.get(key)
+        if actual != expected:
+            problems.append(f"{key}: expected {expected!r}, got {actual!r}")
+    total = report.get("accepted", 0) + report.get("total_quarantined", 0)
+    if report.get("lines") != total:
+        problems.append(
+            f"accounting broken: lines={report.get('lines')} != "
+            f"accepted + quarantined = {total}"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <ingest-report.json>", file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    problems = check(report)
+    if problems:
+        print("ingest fixture report does not match expectations:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"ingest fixture ok: {report['lines']} lines, "
+        f"{report['accepted']} accepted, "
+        f"{report['total_quarantined']} quarantined"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

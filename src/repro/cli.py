@@ -5,6 +5,14 @@ Subcommands mirror the paper's workflow:
 * ``repro synthesize`` — generate a synthetic Internet, simulate ground
   truth, and write a bgpdump-style RIB snapshot (plus optionally the
   ground-truth C-BGP config).
+* ``repro ingest`` — fault-tolerant ingestion of a real feed (RouteViews
+  style ``bgpdump -m`` table dump or CAIDA as-rel file): hardened
+  streaming parse with typed record quarantine, sanitization passes
+  (loops, bogon ASNs, martian prefixes, prepend collapse), a
+  malformed-burst circuit breaker, periodic checkpoints with
+  ``--resume``, and an exact JSON/text ``IngestReport``.  Exit codes:
+  0 ok, 1 quality-gate failure, 2 bad args, 4 unreadable input,
+  5 interrupted.
 * ``repro analyze`` — Section 3 analysis of a dump: dataset summary,
   level-1 clique, classification, pruning, Figure 2 / Table 1 statistics.
 * ``repro refine`` — build and refine an AS-routing model from a dump,
@@ -131,6 +139,59 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--out", required=True, help="dump file to write")
     synth.add_argument("--cbgp", help="also write the ground-truth config here")
     synth.set_defaults(handler=cmd_synthesize)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="fault-tolerant ingestion of a real feed "
+             "(bgpdump -m table dump or CAIDA as-rel file)",
+    )
+    ingest.add_argument("feed", help="raw feed file to ingest")
+    ingest.add_argument("--format", choices=("bgpdump", "as-rel"),
+                        default="bgpdump",
+                        help="feed dialect (default: bgpdump -m)")
+    ingest.add_argument("--out",
+                        help="write the normalised clean dump here "
+                             "(required with --checkpoint)")
+    ingest.add_argument("--report",
+                        help="write the JSON IngestReport to this path")
+    ingest.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the IngestReport as JSON instead of text")
+    ingest.add_argument("--checkpoint",
+                        help="snapshot ingest progress here periodically")
+    ingest.add_argument("--resume", action="store_true",
+                        help="continue from an existing checkpoint "
+                             "instead of starting over")
+    ingest.add_argument("--checkpoint-every", type=int, default=20000,
+                        help="source lines between checkpoint snapshots")
+    ingest.add_argument("--strict", action="store_true",
+                        help="raise on the first damaged record "
+                             "(with its 1-based line number)")
+    ingest.add_argument("--max-malformed-fraction", type=float, default=0.5,
+                        help="whole-file damage fraction that fails the "
+                             "quality gate (AS_SET skips excluded)")
+    ingest.add_argument("--burst-window", type=int, default=500,
+                        help="sliding window (record lines) of the "
+                             "malformed-burst circuit breaker (0 disables)")
+    ingest.add_argument("--burst-threshold", type=float, default=0.95,
+                        help="damaged fraction of the window that trips "
+                             "the breaker")
+    ingest.add_argument("--no-quality-gate", action="store_true",
+                        help="disable the malformed-fraction gate and the "
+                             "burst breaker (still quarantines records)")
+    ingest.add_argument("--synthetic", action="store_true",
+                        help="feed is synthetic round-trip data: skip the "
+                             "bogon-ASN and martian-prefix passes (their "
+                             "number spaces overlap reserved ranges)")
+    ingest.add_argument("--keep-bogons", action="store_true",
+                        help="do not quarantine reserved/private ASNs")
+    ingest.add_argument("--keep-martians", action="store_true",
+                        help="do not quarantine reserved-space prefixes")
+    ingest.add_argument("--prune", action="store_true",
+                        help="chain the clean/prune/graph pipeline over the "
+                             "ingested dataset and print its summary")
+    ingest.add_argument("--seeds", type=int, nargs="*", default=[],
+                        help="known tier-1 seed ASNs for --prune")
+    ingest.set_defaults(handler=cmd_ingest)
 
     analyze = subparsers.add_parser("analyze", help="Section 3 dump analysis")
     analyze.add_argument("dump", help="bgpdump -m style file")
@@ -353,18 +414,203 @@ def cmd_synthesize(args) -> int:
     return 0
 
 
-def _load_pruned(dump_path: str, seeds: list[int]):
-    """Shared dump -> cleaned/pruned dataset pipeline for analyze/refine."""
-    parsed = read_table_dump(dump_path)
-    dataset = parsed.dataset.cleaned()
+def _pruned_pipeline(dataset, seeds: list[int]):
+    """Shared cleaned/pruned pipeline over an already-parsed dataset.
+
+    Used by analyze/refine (via :func:`_load_pruned`) and chained onto
+    ``repro ingest --prune`` so real feeds flow into the same
+    clean -> graph -> clique -> classify -> prune sequence.
+    """
+    dataset = dataset.cleaned()
     graph = ASGraph.from_dataset(dataset)
+    if not graph.ases():
+        # A fully-quarantined feed must fail loudly here, not as an
+        # opaque ValueError from max() below.
+        raise DatasetError(
+            "dataset is empty after cleaning; no usable routes survived"
+        )
     if not seeds:
         # fall back to the highest-degree AS as the seed
         seeds = [max(graph.ases(), key=graph.degree)]
     level1 = infer_level1_clique(graph, seeds)
     classification = classify_ases(dataset, graph, level1)
     pruned = prune_single_homed_stubs(dataset, graph, classification)
-    return parsed, dataset, graph, level1, classification, pruned
+    return dataset, graph, level1, classification, pruned
+
+
+def _load_pruned(dump_path: str, seeds: list[int]):
+    """Shared dump -> cleaned/pruned dataset pipeline for analyze/refine."""
+    parsed = read_table_dump(dump_path)
+    return (parsed, *_pruned_pipeline(parsed.dataset, seeds))
+
+
+def _write_ingest_report(args, report) -> None:
+    """Emit the IngestReport per the --report/--json flags."""
+    if args.report:
+        with open(args.report, "w", encoding="ascii") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote ingest report to {args.report}", file=sys.stderr)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render())
+
+
+def cmd_ingest(args) -> int:
+    """Handle ``repro ingest``.
+
+    Exit codes: 0 ok, 1 quality-gate failure (mostly-garbage feed,
+    malformed burst, or a strict-mode parse error), 2 bad arguments,
+    4 unreadable input, 5 interrupted (checkpoint saved).
+    """
+    import signal
+
+    from repro.data.ingest import IngestConfig, ingest_table_dump
+    from repro.data.sanitize import SanitizeConfig
+    from repro.errors import IngestError
+
+    if args.format == "as-rel":
+        if args.checkpoint or args.resume or args.out:
+            print(
+                "error: --checkpoint/--resume/--out apply only to "
+                "--format bgpdump",
+                file=sys.stderr,
+            )
+            return 2
+        return _ingest_as_rel(args)
+    if args.checkpoint and not args.out:
+        print("error: --checkpoint requires --out (the clean dump is what "
+              "a resume restores from)", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.synthetic:
+        sanitize = SanitizeConfig.for_synthetic()
+    else:
+        sanitize = SanitizeConfig(
+            drop_bogon_asns=not args.keep_bogons,
+            drop_martian_prefixes=not args.keep_martians,
+        )
+    config = IngestConfig(
+        sanitize=sanitize,
+        strict=args.strict,
+        max_malformed_fraction=(
+            None if args.no_quality_gate else args.max_malformed_fraction
+        ),
+        burst_window=0 if args.no_quality_gate else args.burst_window,
+        burst_threshold=args.burst_threshold,
+        checkpoint_every=max(1, args.checkpoint_every),
+    )
+    get_registry().reset()
+
+    # A SIGINT/SIGTERM mid-ingest drains gracefully: the loop notices at
+    # the next line boundary, writes a final checkpoint, and exits 5.
+    received: dict[str, int] = {}
+
+    def _on_signal(signum, frame):  # pragma: no cover - exercised in subproc
+        received["signum"] = signum
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
+    try:
+        result = ingest_table_dump(
+            args.feed,
+            out_path=args.out,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            config=config,
+            should_stop=lambda: received.get("signum"),
+        )
+    except IngestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.report is not None:
+            _write_ingest_report(args, error.report)
+        return 1
+    except ParseError as error:  # strict mode names line + field
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    except OSError as error:
+        print(f"error: cannot read {args.feed}: {error}", file=sys.stderr)
+        return EXIT_DATA
+    except ShutdownRequested as shutdown:
+        print(
+            f"interrupted by signal {shutdown.signum}"
+            + (f"; checkpoint saved to {args.checkpoint}; rerun with "
+               "--resume to continue" if args.checkpoint else ""),
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+    if result.resumed_from_line:
+        print(f"resumed from line {result.resumed_from_line}",
+              file=sys.stderr)
+    if args.out:
+        print(f"wrote {result.report.accepted} clean records to {args.out}",
+              file=sys.stderr)
+    _write_ingest_report(args, result.report)
+    if args.prune:
+        try:
+            dataset, graph, level1, classification, pruned = _pruned_pipeline(
+                result.dataset, args.seeds
+            )
+        except DatasetError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"cleaned:           {dataset.summary()['routes']} routes, "
+              f"{graph.num_ases()} ASes, {graph.num_edges()} edges")
+        print(f"level-1 clique:    {sorted(level1)}")
+        print(f"pruned:            {len(pruned.pruned_asns)} single-homed "
+              f"stubs, {pruned.transferred_routes} routes transferred, "
+              f"{pruned.graph.num_ases()} ASes remain")
+    return 0
+
+
+def _ingest_as_rel(args) -> int:
+    """``repro ingest --format as-rel``: CAIDA relationship files."""
+    from repro.data.caida import read_as_rel
+    from repro.topology.prune import restrict_to_largest_component
+
+    get_registry().reset()
+    try:
+        result = read_as_rel(
+            args.feed,
+            strict=args.strict,
+            drop_bogons=not (args.keep_bogons or args.synthetic),
+            max_malformed_fraction=(
+                None if args.no_quality_gate else args.max_malformed_fraction
+            ),
+        )
+    except ParseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except DatasetError as error:  # the mostly-garbage quality gate
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot read {args.feed}: {error}", file=sys.stderr)
+        return EXIT_DATA
+    graph = result.graph
+    if args.prune:
+        graph, dropped = restrict_to_largest_component(graph)
+        if dropped:
+            print(f"pruned {len(dropped)} ASes outside the largest "
+                  "connected component", file=sys.stderr)
+    _write_ingest_report(args, result.report)
+    print(f"as-rel graph:      {graph.num_ases()} ASes, "
+          f"{graph.num_edges()} edges ({result.relationships!r})",
+          file=sys.stderr)
+    return 0
 
 
 def cmd_analyze(args) -> int:

@@ -20,7 +20,17 @@ from repro.data.observation import (
     collect_dataset,
     select_observation_points,
 )
-from repro.data.dumps import read_table_dump, write_table_dump, SNAPSHOT_TIME
+from repro.data.dumps import (
+    RecordResult,
+    iter_table_dump,
+    read_table_dump,
+    write_table_dump,
+    SNAPSHOT_TIME,
+)
+from repro.data.caida import CaidaReadResult, iter_as_rel, read_as_rel
+from repro.data.ingest import IngestConfig, IngestResult, ingest_table_dump
+from repro.data.quality import IngestReport, Rejection
+from repro.data.sanitize import SanitizeConfig, sanitize_route
 
 __all__ = [
     "SyntheticConfig",
@@ -29,7 +39,19 @@ __all__ = [
     "ObservationPoint",
     "select_observation_points",
     "collect_dataset",
+    "CaidaReadResult",
+    "IngestConfig",
+    "IngestReport",
+    "IngestResult",
+    "RecordResult",
+    "Rejection",
+    "SanitizeConfig",
+    "ingest_table_dump",
+    "iter_as_rel",
+    "iter_table_dump",
+    "read_as_rel",
     "read_table_dump",
+    "sanitize_route",
     "write_table_dump",
     "SNAPSHOT_TIME",
 ]

@@ -1,0 +1,227 @@
+"""CAIDA AS-relationship (``as-rel``) files.
+
+The serial-1/serial-2 format is one edge per line::
+
+    # comment lines describe provenance
+    <provider-as>|<customer-as>|-1        (provider-to-customer)
+    <peer-as>|<peer-as>|0                 (settlement-free peering)
+    <as>|<as>|1[|source]                  (sibling, emitted by some tools)
+
+Parsing follows the same hardened contract as the dump reader: one
+:class:`~repro.data.dumps.RecordResult`-style outcome per record line,
+typed rejection reasons with 1-based positions, no exception on a single
+bad record in lenient mode.  The accepted edges build an
+:class:`~repro.topology.graph.ASGraph` plus a
+:class:`~repro.relationships.types.RelationshipMap`, ready for the
+prune-to-connected-core pass and model construction.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.data.quality import (
+    BAD_RELATIONSHIP,
+    BOGON_ASN,
+    MALFORMED_FIELDS,
+    SELF_EDGE,
+    UNDECODABLE_BYTES,
+    IngestReport,
+    Rejection,
+    is_bogon_asn,
+)
+from repro.errors import ParseError
+from repro.net.asn import MAX_ASN
+from repro.relationships.types import Relationship, RelationshipMap
+from repro.topology.graph import ASGraph
+
+_LINE_WIDTH = 160
+
+logger = logging.getLogger(__name__)
+
+_RELATIONSHIP_CODES = {
+    -1: Relationship.CUSTOMER,  # b is a's customer
+    0: Relationship.PEER,
+    1: Relationship.SIBLING,
+}
+
+
+@dataclass(frozen=True)
+class RelRecord:
+    """One accepted as-rel edge: (a, b, relationship of b from a's view)."""
+
+    asn_a: int
+    asn_b: int
+    relationship: Relationship
+
+
+@dataclass(frozen=True)
+class RelRecordResult:
+    """One record line's outcome: an edge or a typed rejection."""
+
+    line_number: int
+    record: RelRecord | None = None
+    rejection: Rejection | None = None
+
+    @property
+    def accepted(self) -> bool:
+        """True when the line parsed into an edge."""
+        return self.record is not None
+
+
+def _classify_rel_line(
+    line: str, line_number: int, drop_bogons: bool
+) -> RelRecordResult:
+    """Parse one stripped as-rel record line."""
+
+    def reject(reason: str, detail: str) -> RelRecordResult:
+        return RelRecordResult(
+            line_number,
+            rejection=Rejection(
+                reason, line_number, detail=detail, line=line[:_LINE_WIDTH]
+            ),
+        )
+
+    fields = line.split("|")
+    if len(fields) < 3:
+        return reject(MALFORMED_FIELDS, f"{len(fields)} fields, need >= 3")
+    asns: list[int] = []
+    for text in fields[:2]:
+        try:
+            asn = int(text)
+        except ValueError:
+            return reject(MALFORMED_FIELDS, f"AS {text!r} is not numeric")
+        if not 0 < asn <= MAX_ASN:
+            return reject(MALFORMED_FIELDS, f"AS {asn} out of range")
+        asns.append(asn)
+    asn_a, asn_b = asns
+    if asn_a == asn_b:
+        return reject(SELF_EDGE, f"AS {asn_a} linked to itself")
+    try:
+        code = int(fields[2])
+    except ValueError:
+        return reject(BAD_RELATIONSHIP, f"relationship {fields[2]!r}")
+    relationship = _RELATIONSHIP_CODES.get(code)
+    if relationship is None:
+        return reject(BAD_RELATIONSHIP, f"relationship code {code}")
+    if drop_bogons:
+        bogon = next((asn for asn in asns if is_bogon_asn(asn)), None)
+        if bogon is not None:
+            return reject(BOGON_ASN, f"AS {bogon} is reserved/private")
+    return RelRecordResult(
+        line_number, record=RelRecord(asn_a, asn_b, relationship)
+    )
+
+
+def iter_as_rel(
+    lines: Iterable[str | bytes],
+    strict: bool = False,
+    drop_bogons: bool = True,
+    start_line: int = 0,
+) -> Iterator[RelRecordResult]:
+    """Stream per-record results from CAIDA as-rel lines.
+
+    Same contract as :func:`repro.data.dumps.iter_table_dump`: blank
+    lines and ``#`` comments are passed over, bad records are yielded as
+    typed rejections (or raise :class:`ParseError` with the 1-based line
+    number in strict mode), undecodable bytes quarantine one line.
+    """
+    line_number = start_line
+    for raw in lines:
+        line_number += 1
+        if isinstance(raw, bytes):
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                if strict:
+                    raise ParseError(
+                        f"line {line_number}: undecodable bytes: {error}"
+                    ) from error
+                yield RelRecordResult(
+                    line_number,
+                    rejection=Rejection(
+                        UNDECODABLE_BYTES,
+                        line_number,
+                        detail=str(error),
+                        line=raw.decode(
+                            "utf-8", errors="backslashreplace"
+                        )[:_LINE_WIDTH],
+                    ),
+                )
+                continue
+        else:
+            text = raw
+        line = text.strip()
+        if not line or line.startswith("#"):
+            continue
+        result = _classify_rel_line(line, line_number, drop_bogons)
+        rejection = result.rejection
+        if strict and rejection is not None:
+            raise ParseError(
+                f"line {line_number}: {rejection.reason} "
+                f"({rejection.detail}): {line[:_LINE_WIDTH]!r}"
+            )
+        yield result
+
+
+@dataclass
+class CaidaReadResult:
+    """A parsed as-rel file: graph, relationships, and exact accounting."""
+
+    graph: ASGraph = field(default_factory=ASGraph)
+    relationships: RelationshipMap = field(default_factory=RelationshipMap)
+    report: IngestReport = field(
+        default_factory=lambda: IngestReport(format="as-rel")
+    )
+
+
+def read_as_rel(
+    source: str | Path | TextIO | Iterable[str | bytes],
+    strict: bool = False,
+    drop_bogons: bool = True,
+    max_malformed_fraction: float | None = 0.5,
+) -> CaidaReadResult:
+    """Parse a CAIDA as-rel file into a graph + relationship map.
+
+    Duplicate edges keep the first relationship seen (and are counted
+    under ``modified["duplicate-edge"]``); a mostly-garbage file raises
+    :class:`DatasetError` under the same quality gate as the dump
+    reader.  A ``str``/``Path`` source is read as bytes so undecodable
+    lines are quarantined individually.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_as_rel(
+                handle, strict, drop_bogons, max_malformed_fraction
+            )
+
+    result = CaidaReadResult()
+    report = result.report
+    for outcome in iter_as_rel(source, strict=strict, drop_bogons=drop_bogons):
+        if outcome.record is None:
+            assert outcome.rejection is not None
+            report.record_reject(outcome.rejection)
+            continue
+        report.record_accept()
+        record = outcome.record
+        if result.relationships.has(record.asn_a, record.asn_b):
+            report.record_modified("duplicate-edge")
+            continue
+        result.graph.add_edge(record.asn_a, record.asn_b)
+        result.relationships.set(
+            record.asn_a, record.asn_b, record.relationship
+        )
+    if not strict:
+        from repro.data.dumps import check_quality_gate
+
+        check_quality_gate(report, max_malformed_fraction)
+    if report.total_quarantined:
+        logger.warning(
+            "as-rel read: %d lines, quarantined %d",
+            report.lines,
+            report.total_quarantined,
+        )
+    return result

@@ -6,8 +6,21 @@ produced by ``bgpdump -m`` on MRT TABLE_DUMP2 files::
     TABLE_DUMP2|<time>|B|<peer_ip>|<peer_as>|<prefix>|<as_path>|<origin>|...
 
 so the pipeline can also ingest real RouteViews/RIPE data when it is
-available.  Entries with AS_SET segments are skipped with a warning count,
-mirroring the paper's preprocessing.
+available.
+
+Parsing is *streaming and hardened*: :func:`iter_table_dump` yields one
+:class:`RecordResult` per record line — either a parsed
+:class:`~repro.topology.dataset.ObservedRoute` or a typed
+:class:`~repro.data.quality.Rejection` naming the reason and the 1-based
+line position — and never raises on a single bad record in lenient mode.
+A file given by path is read as *bytes* so a stray non-ASCII byte
+quarantines that one line (reason ``undecodable-bytes``) instead of
+aborting the whole read with :class:`UnicodeDecodeError`.
+
+:func:`read_table_dump` keeps the historical eager API (and its
+``max_malformed_fraction`` mostly-garbage guard) on top of the streaming
+parser; :mod:`repro.data.ingest` builds the resumable, checkpointed
+pipeline on the same generator.
 """
 
 from __future__ import annotations
@@ -15,9 +28,21 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import Iterable, Iterator, TextIO
 
+from repro.data.quality import (
+    AS_SET,
+    BAD_PATH,
+    BAD_PEER_AS,
+    BAD_PREFIX,
+    MALFORMED_FIELDS,
+    PEER_MISMATCH,
+    UNDECODABLE_BYTES,
+    IngestReport,
+    Rejection,
+)
 from repro.errors import DatasetError, ParseError
+from repro.net.asn import MAX_ASN
 from repro.net.aspath import ASPath
 from repro.net.ip import ip_to_string
 from repro.net.prefix import Prefix
@@ -27,6 +52,7 @@ SNAPSHOT_TIME = 1131867000
 """Sun Nov 13 2005 07:30 UTC — the paper's snapshot instant."""
 
 _RECORD_TYPE = "TABLE_DUMP2"
+_LINE_WIDTH = 160  # raw-line truncation for rejection samples
 
 logger = logging.getLogger(__name__)
 
@@ -49,27 +75,33 @@ def write_table_dump(
     point_ips = _point_ips(dataset)
     for route in dataset:
         peer_ip = point_ips[route.point_id]
-        line = "|".join(
-            (
-                _RECORD_TYPE,
-                str(timestamp),
-                "B",
-                peer_ip,
-                str(route.observer_asn),
-                str(route.prefix),
-                str(route.path),
-                "IGP",
-                peer_ip,
-                "0",
-                "0",
-                "",
-                "NAG",
-                "",
-            )
-        )
-        destination.write(line + "\n")
+        destination.write(format_dump_line(route, peer_ip, timestamp) + "\n")
         count += 1
     return count
+
+
+def format_dump_line(
+    route: ObservedRoute, peer_ip: str, timestamp: int = SNAPSHOT_TIME
+) -> str:
+    """One normalised ``bgpdump -m`` line for ``route`` (no newline)."""
+    return "|".join(
+        (
+            _RECORD_TYPE,
+            str(timestamp),
+            "B",
+            peer_ip,
+            str(route.observer_asn),
+            str(route.prefix),
+            str(route.path),
+            "IGP",
+            peer_ip,
+            "0",
+            "0",
+            "",
+            "NAG",
+            "",
+        )
+    )
 
 
 def _point_ips(dataset: PathDataset) -> dict[str, str]:
@@ -83,87 +115,214 @@ def _point_ips(dataset: PathDataset) -> dict[str, str]:
     return ips
 
 
+@dataclass(frozen=True)
+class RecordResult:
+    """One record line's outcome: a parsed route or a typed rejection."""
+
+    line_number: int
+    """1-based position of the line in the source."""
+    route: ObservedRoute | None = None
+    rejection: Rejection | None = None
+    peer_ip: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """True when the line parsed into a route."""
+        return self.route is not None
+
+
+def _classify_dump_line(line: str, line_number: int) -> RecordResult:
+    """Parse one stripped record line into a :class:`RecordResult`."""
+
+    def reject(reason: str, detail: str) -> RecordResult:
+        return RecordResult(
+            line_number,
+            rejection=Rejection(
+                reason, line_number, detail=detail, line=line[:_LINE_WIDTH]
+            ),
+        )
+
+    fields = line.split("|")
+    if fields[0] != _RECORD_TYPE:
+        return reject(
+            MALFORMED_FIELDS, f"record type {fields[0][:32]!r} != {_RECORD_TYPE}"
+        )
+    if len(fields) < 7:
+        return reject(MALFORMED_FIELDS, f"{len(fields)} fields, need >= 7")
+    _, _, _, peer_ip, peer_as, prefix_text, path_text = fields[:7]
+    try:
+        observer_asn = int(peer_as)
+    except ValueError:
+        return reject(BAD_PEER_AS, f"peer AS {peer_as!r}")
+    if not 0 < observer_asn <= MAX_ASN:
+        return reject(BAD_PEER_AS, f"peer AS {observer_asn} out of range")
+    try:
+        prefix = Prefix(prefix_text)
+    except ParseError as error:
+        return reject(BAD_PREFIX, str(error))
+    try:
+        path = ASPath.parse(path_text)
+    except ParseError as error:
+        if "{" in path_text:
+            return reject(AS_SET, f"AS_SET in path {path_text[:64]!r}")
+        return reject(BAD_PATH, str(error))
+    if len(path) == 0 or path.head_asn != observer_asn:
+        return reject(
+            PEER_MISMATCH,
+            f"path {str(path)[:64]!r} does not start at peer AS {observer_asn}",
+        )
+    return RecordResult(
+        line_number,
+        route=ObservedRoute(
+            f"{peer_ip}|{observer_asn}", observer_asn, prefix, path
+        ),
+        peer_ip=peer_ip,
+    )
+
+
+def iter_table_dump(
+    lines: Iterable[str | bytes],
+    strict: bool = False,
+    start_line: int = 0,
+) -> Iterator[RecordResult]:
+    """Stream per-record results from ``bgpdump -m`` lines.
+
+    Yields one :class:`RecordResult` per *record* line (blank lines and
+    ``#`` comments are passed over silently).  Lines may be ``str`` or
+    ``bytes``; undecodable bytes quarantine that line with reason
+    ``undecodable-bytes`` instead of raising.  ``start_line`` is the
+    number of physical lines already consumed by the caller (resume),
+    so reported positions stay 1-based within the whole source.
+
+    In strict mode a rejection raises :class:`ParseError` carrying the
+    1-based line number and the offending field — except AS_SET lines,
+    which are expected preprocessing and are still yielded as
+    quarantined records.
+    """
+    line_number = start_line
+    for raw in lines:
+        line_number += 1
+        if isinstance(raw, bytes):
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                result = RecordResult(
+                    line_number,
+                    rejection=Rejection(
+                        UNDECODABLE_BYTES,
+                        line_number,
+                        detail=str(error),
+                        line=raw.decode(
+                            "utf-8", errors="backslashreplace"
+                        )[:_LINE_WIDTH],
+                    ),
+                )
+                if strict:
+                    raise ParseError(
+                        f"line {line_number}: undecodable bytes: {error}"
+                    ) from error
+                yield result
+                continue
+        else:
+            text = raw
+        line = text.strip()
+        if not line or line.startswith("#"):
+            continue
+        result = _classify_dump_line(line, line_number)
+        rejection = result.rejection
+        if strict and rejection is not None and rejection.reason != AS_SET:
+            raise ParseError(
+                f"line {line_number}: {rejection.reason} "
+                f"({rejection.detail}): {line[:_LINE_WIDTH]!r}"
+            )
+        yield result
+
+
 @dataclass
 class DumpReadResult:
-    """A parsed dump plus counters for skipped lines."""
+    """A parsed dump plus the exact accounting of skipped lines."""
 
     dataset: PathDataset
-    lines: int = 0
-    skipped_as_set: int = 0
-    skipped_malformed: int = 0
+    report: IngestReport
+
+    @property
+    def lines(self) -> int:
+        """Record lines seen (blank lines and comments excluded)."""
+        return self.report.lines
+
+    @property
+    def skipped_as_set(self) -> int:
+        """Lines dropped because the path contained an AS_SET segment."""
+        return self.report.quarantined.get(AS_SET, 0)
+
+    @property
+    def skipped_malformed(self) -> int:
+        """Lines dropped for any damage reason (everything but AS_SET)."""
+        return self.report.damaged
+
+
+def check_quality_gate(
+    report: IngestReport, max_malformed_fraction: float | None
+) -> None:
+    """Raise :class:`DatasetError` when a read was mostly garbage.
+
+    A mostly-garbage feed must not silently become a tiny (or empty)
+    dataset.  AS_SET skips are expected preprocessing and do not count.
+    """
+    if (
+        max_malformed_fraction is not None
+        and report.lines
+        and report.damaged_fraction > max_malformed_fraction
+    ):
+        raise DatasetError(
+            f"dump is mostly garbage: {report.damaged} of "
+            f"{report.lines} lines malformed "
+            f"(+{report.quarantined.get(AS_SET, 0)} AS_SET skips) exceeds the "
+            f"{max_malformed_fraction:.0%} threshold"
+        )
 
 
 def read_table_dump(
-    source: str | Path | TextIO | Iterable[str],
+    source: str | Path | TextIO | Iterable[str | bytes],
     strict: bool = False,
     max_malformed_fraction: float | None = 0.5,
 ) -> DumpReadResult:
     """Parse a bgpdump -m style dump into a :class:`PathDataset`.
 
-    ``strict`` turns malformed lines into :class:`ParseError` instead of
-    counting and skipping them.  The observation-point id is derived from
-    (peer IP, peer AS), which is how feeds are identified in practice.
+    ``strict`` turns malformed lines into :class:`ParseError` (naming
+    the 1-based line and offending field) instead of counting and
+    skipping them.  The observation-point id is derived from (peer IP,
+    peer AS), which is how feeds are identified in practice.
 
     In lenient mode, a dump whose malformed fraction exceeds
     ``max_malformed_fraction`` raises :class:`DatasetError` carrying the
-    skip counters: a mostly-garbage feed must not silently become a tiny
-    (or empty) dataset.  Pass ``None`` to disable the guard.  AS_SET
-    skips are expected preprocessing and do not count against it.
+    skip counters.  Pass ``None`` to disable the guard.  AS_SET skips
+    are expected preprocessing and do not count against it.
+
+    A ``str``/``Path`` source is opened in *binary* mode so lines with
+    undecodable bytes are quarantined individually (reason
+    ``undecodable-bytes``) rather than aborting the read.
     """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="ascii") as handle:
+        with open(source, "rb") as handle:
             return read_table_dump(handle, strict, max_malformed_fraction)
 
-    result = DumpReadResult(dataset=PathDataset())
-    for raw_line in source:
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
-            continue
-        result.lines += 1
-        fields = line.split("|")
-        if len(fields) < 7 or fields[0] != _RECORD_TYPE:
-            if strict:
-                raise ParseError(f"malformed dump line: {line!r}")
-            result.skipped_malformed += 1
-            continue
-        _, _, _, peer_ip, peer_as, prefix_text, path_text = fields[:7]
-        try:
-            observer_asn = int(peer_as)
-            prefix = Prefix(prefix_text)
-            path = ASPath.parse(path_text)
-        except ParseError:
-            if "{" in path_text:
-                result.skipped_as_set += 1
-                continue
-            if strict:
-                raise
-            result.skipped_malformed += 1
-            continue
-        if len(path) == 0 or path.head_asn != observer_asn:
-            if strict:
-                raise ParseError(
-                    f"path {path} does not start at peer AS {observer_asn}"
-                )
-            result.skipped_malformed += 1
-            continue
-        result.dataset.add(
-            ObservedRoute(f"{peer_ip}|{observer_asn}", observer_asn, prefix, path)
-        )
-    if (
-        not strict
-        and max_malformed_fraction is not None
-        and result.lines
-        and result.skipped_malformed / result.lines > max_malformed_fraction
-    ):
-        raise DatasetError(
-            f"dump is mostly garbage: {result.skipped_malformed} of "
-            f"{result.lines} lines malformed "
-            f"(+{result.skipped_as_set} AS_SET skips) exceeds the "
-            f"{max_malformed_fraction:.0%} threshold"
-        )
-    if result.skipped_malformed or result.skipped_as_set:
+    report = IngestReport()
+    result = DumpReadResult(dataset=PathDataset(), report=report)
+    for record in iter_table_dump(source, strict=strict):
+        if record.route is not None:
+            report.record_accept()
+            result.dataset.add(record.route)
+        else:
+            assert record.rejection is not None
+            report.record_reject(record.rejection)
+    if not strict:
+        check_quality_gate(report, max_malformed_fraction)
+    if report.total_quarantined:
         logger.warning(
             "dump read: %d lines, skipped %d malformed, %d AS_SET",
-            result.lines, result.skipped_malformed, result.skipped_as_set,
+            report.lines,
+            result.skipped_malformed,
+            result.skipped_as_set,
         )
     return result

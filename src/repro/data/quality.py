@@ -1,0 +1,304 @@
+"""Record-quality taxonomy for real-feed ingestion.
+
+Real BGP feeds are dirty in ways synthetic round-trip data never is:
+truncated fields, non-numeric ASNs, AS_SET aggregates, path loops,
+reserved/private ASNs, martian prefixes, and stray binary bytes.  The
+ingestion layer never crashes on a single bad record and never drops one
+silently — every rejected record is *quarantined* under exactly one of
+the typed reasons below, with its 1-based line position, and the totals
+are accounted for in an :class:`IngestReport` where
+
+    accepted + sum(quarantined per reason) == lines seen
+
+holds by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.net.asn import AS_TRANS, MAX_ASN, is_private_asn
+from repro.net.prefix import Prefix
+
+# ---------------------------------------------------------------------------
+# Rejection reasons
+# ---------------------------------------------------------------------------
+
+MALFORMED_FIELDS = "malformed-fields"
+"""The line does not have the expected field structure at all."""
+
+BAD_PEER_AS = "bad-peer-as"
+"""The peer-AS field is not a parseable AS number."""
+
+BAD_PREFIX = "bad-prefix"
+"""The prefix field is not a parseable CIDR prefix."""
+
+BAD_PATH = "bad-path"
+"""The AS-path field contains unparseable tokens."""
+
+AS_SET = "as-set"
+"""The AS-path contains an AS_SET segment (``{...}``, from aggregation)."""
+
+PEER_MISMATCH = "peer-mismatch"
+"""The AS-path is empty or does not start at the peer AS."""
+
+PATH_LOOP = "path-loop"
+"""The AS-path revisits an AS non-consecutively (a routing loop)."""
+
+BOGON_ASN = "bogon-asn"
+"""The path or peer contains a reserved/private ASN (incl. AS_TRANS)."""
+
+MARTIAN_PREFIX = "martian-prefix"
+"""The prefix lies in reserved/private address space."""
+
+UNDECODABLE_BYTES = "undecodable-bytes"
+"""The raw line contains bytes that do not decode as text."""
+
+BAD_RELATIONSHIP = "bad-relationship"
+"""An as-rel record's relationship code is not one of -1/0/1."""
+
+SELF_EDGE = "self-edge"
+"""An as-rel record links an AS to itself."""
+
+REASONS: tuple[str, ...] = (
+    MALFORMED_FIELDS,
+    BAD_PEER_AS,
+    BAD_PREFIX,
+    BAD_PATH,
+    AS_SET,
+    PEER_MISMATCH,
+    PATH_LOOP,
+    BOGON_ASN,
+    MARTIAN_PREFIX,
+    UNDECODABLE_BYTES,
+    BAD_RELATIONSHIP,
+    SELF_EDGE,
+)
+"""Every reason the ingestion layer can quarantine a record under."""
+
+EXPECTED_REASONS: frozenset[str] = frozenset({AS_SET})
+"""Reasons that are expected preprocessing, not feed damage.
+
+AS_SET drops mirror the paper's preprocessing ("the dataset drops
+aggregated routes") and therefore do not count against malformed-feed
+quality gates.
+"""
+
+_SAMPLE_LIMIT = 3
+_SAMPLE_WIDTH = 160
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One quarantined record: why, where, and what it looked like."""
+
+    reason: str
+    line_number: int
+    """1-based position of the offending line in the source."""
+    detail: str = ""
+    """The offending field/value, when one can be named."""
+    line: str = ""
+    """The raw line, truncated for reporting."""
+
+    def describe(self) -> str:
+        """``line 17: bad-peer-as (peer AS 'x'): 'TABLE_DUMP2|...'``."""
+        parts = [f"line {self.line_number}: {self.reason}"]
+        if self.detail:
+            parts.append(f"({self.detail})")
+        if self.line:
+            parts.append(f": {self.line!r}")
+        return " ".join(parts[:2]) + (parts[2] if len(parts) > 2 else "")
+
+
+# ---------------------------------------------------------------------------
+# Bogon ASNs and martian prefixes
+# ---------------------------------------------------------------------------
+
+_DOC_ASN_RANGES = ((64496, 64511), (65536, 65551))
+"""Documentation/sample ASN ranges (RFC 5398)."""
+
+_MARTIAN_PREFIXES = tuple(
+    Prefix(text)
+    for text in (
+        "0.0.0.0/8",        # "this network" (RFC 1122)
+        "10.0.0.0/8",       # private (RFC 1918)
+        "100.64.0.0/10",    # shared CGN space (RFC 6598)
+        "127.0.0.0/8",      # loopback
+        "169.254.0.0/16",   # link local
+        "172.16.0.0/12",    # private (RFC 1918)
+        "192.0.0.0/24",     # IETF protocol assignments
+        "192.0.2.0/24",     # TEST-NET-1
+        "192.168.0.0/16",   # private (RFC 1918)
+        "198.18.0.0/15",    # benchmarking (RFC 2544)
+        "198.51.100.0/24",  # TEST-NET-2
+        "203.0.113.0/24",   # TEST-NET-3
+        "224.0.0.0/4",      # multicast
+        "240.0.0.0/4",      # reserved (class E)
+    )
+)
+
+
+def is_bogon_asn(asn: int) -> bool:
+    """True for ASNs that must never appear in a public AS-path.
+
+    Covers AS 0 (RFC 7607), AS_TRANS 23456 (RFC 4893 placeholder — a
+    real topology node named 23456 is a 2-byte speaker's stand-in, not
+    an AS), the private-use ranges (RFC 6996), the documentation ranges
+    (RFC 5398), and the all-ones reserved values 65535 / 2^32-1.
+    """
+    if asn <= 0 or asn > MAX_ASN:
+        return True
+    if asn == AS_TRANS or asn == 0xFFFF or asn == MAX_ASN:
+        return True
+    if is_private_asn(asn):
+        return True
+    return any(lo <= asn <= hi for lo, hi in _DOC_ASN_RANGES)
+
+
+def is_martian_prefix(prefix: Prefix) -> bool:
+    """True if ``prefix`` lies inside reserved/private address space."""
+    return any(martian.contains(prefix) for martian in _MARTIAN_PREFIXES)
+
+
+# ---------------------------------------------------------------------------
+# The ingest report
+# ---------------------------------------------------------------------------
+
+INGEST_REPORT_FORMAT = "repro/ingest-report/v1"
+
+
+@dataclass
+class IngestReport:
+    """Exact accounting of one ingestion run.
+
+    ``lines`` counts every record line seen (blank lines and ``#``
+    comments are not records); each such line lands in exactly one of
+    ``accepted`` or one ``quarantined[reason]`` bucket.  ``modified``
+    counts in-place repairs (prepend collapse) that do *not* drop the
+    record.  Up to three sample offending lines are kept per reason so a
+    report names concrete evidence, not just totals.
+    """
+
+    source: str = ""
+    format: str = "bgpdump"
+    lines: int = 0
+    accepted: int = 0
+    quarantined: dict[str, int] = field(default_factory=dict)
+    modified: dict[str, int] = field(default_factory=dict)
+    samples: dict[str, list[dict]] = field(default_factory=dict)
+
+    def record_accept(self) -> None:
+        """Account one record line as accepted."""
+        self.lines += 1
+        self.accepted += 1
+
+    def record_reject(self, rejection: Rejection) -> None:
+        """Account one record line as quarantined under its reason."""
+        self.lines += 1
+        reason = rejection.reason
+        self.quarantined[reason] = self.quarantined.get(reason, 0) + 1
+        samples = self.samples.setdefault(reason, [])
+        if len(samples) < _SAMPLE_LIMIT:
+            samples.append(
+                {
+                    "line_number": rejection.line_number,
+                    "detail": rejection.detail,
+                    "line": rejection.line[:_SAMPLE_WIDTH],
+                }
+            )
+
+    def record_modified(self, kind: str, amount: int = 1) -> None:
+        """Count an in-place repair (e.g. ``prepend-collapse``)."""
+        self.modified[kind] = self.modified.get(kind, 0) + amount
+
+    @property
+    def total_quarantined(self) -> int:
+        """Records quarantined across every reason."""
+        return sum(self.quarantined.values())
+
+    @property
+    def damaged(self) -> int:
+        """Quarantined records that indicate feed damage (not AS_SET)."""
+        return sum(
+            count
+            for reason, count in self.quarantined.items()
+            if reason not in EXPECTED_REASONS
+        )
+
+    @property
+    def damaged_fraction(self) -> float:
+        """``damaged / lines`` (0 when no lines were seen)."""
+        return self.damaged / self.lines if self.lines else 0.0
+
+    def is_accounted(self) -> bool:
+        """True iff every seen line is exactly accepted or quarantined."""
+        return self.lines == self.accepted + self.total_quarantined
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (stable key order via sorting)."""
+        return {
+            "format_id": INGEST_REPORT_FORMAT,
+            "source": self.source,
+            "format": self.format,
+            "lines": self.lines,
+            "accepted": self.accepted,
+            "quarantined": {
+                reason: self.quarantined[reason]
+                for reason in sorted(self.quarantined)
+            },
+            "total_quarantined": self.total_quarantined,
+            "damaged": self.damaged,
+            "modified": {
+                kind: self.modified[kind] for kind in sorted(self.modified)
+            },
+            "samples": {
+                reason: list(self.samples[reason])
+                for reason in sorted(self.samples)
+            },
+        }
+
+    def to_json(self) -> str:
+        """The report as an indented JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IngestReport":
+        """Rebuild a report from :meth:`to_dict` output (checkpoint resume)."""
+        report = cls(
+            source=str(data.get("source", "")),
+            format=str(data.get("format", "bgpdump")),
+            lines=int(data.get("lines", 0)),
+            accepted=int(data.get("accepted", 0)),
+            quarantined={
+                str(k): int(v) for k, v in (data.get("quarantined") or {}).items()
+            },
+            modified={
+                str(k): int(v) for k, v in (data.get("modified") or {}).items()
+            },
+            samples={
+                str(k): [dict(s) for s in v]
+                for k, v in (data.get("samples") or {}).items()
+            },
+        )
+        return report
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        out = [
+            f"ingest report for {self.source or '<stream>'} ({self.format})",
+            f"  lines:       {self.lines}",
+            f"  accepted:    {self.accepted}",
+            f"  quarantined: {self.total_quarantined} "
+            f"({self.damaged} damaged, {self.damaged_fraction:.1%} of lines)",
+        ]
+        for reason in sorted(self.quarantined):
+            out.append(f"    {reason:<20} {self.quarantined[reason]}")
+            for sample in self.samples.get(reason, [])[:1]:
+                out.append(
+                    f"      e.g. line {sample['line_number']}: "
+                    f"{sample['line']!r}"
+                )
+        for kind in sorted(self.modified):
+            out.append(f"  modified:    {kind} x{self.modified[kind]}")
+        return "\n".join(out)

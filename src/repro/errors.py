@@ -79,6 +79,22 @@ class DatasetError(ReproError):
     """Raised for inconsistent observed-path datasets (empty training set, ...)."""
 
 
+class IngestError(DatasetError):
+    """An ingestion run failed a quality gate and was aborted.
+
+    Raised by :mod:`repro.data.ingest` when a feed turns out to be
+    mostly garbage (the malformed-fraction gate) or turns to garbage
+    mid-file (the malformed-burst circuit breaker).  Carries the partial
+    :class:`~repro.data.quality.IngestReport` accumulated so far, so the
+    caller can still render exact per-reason accounting of what was
+    seen before the abort.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ShutdownRequested(ReproError):
     """A SIGINT/SIGTERM reached the parallel supervisor mid-run.
 

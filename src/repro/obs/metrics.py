@@ -200,6 +200,26 @@ class MetricsRegistry:
         return bool(self._counters or self._gauges or self._histograms)
 
 
+def labelled(name: str, **labels: str) -> str:
+    """Canonical instrument name carrying sorted key="value" labels.
+
+    The registry keys instruments by plain string, so dimensioned
+    metrics (per-rejection-reason ingest counters, per-endpoint serving
+    counters) encode their labels into the name in a stable,
+    Prometheus-style form::
+
+        >>> labelled("ingest.quarantined", reason="as-set")
+        'ingest.quarantined{reason="as-set"}'
+
+    Sorting the label keys makes the same logical instrument always
+    land on the same registry entry regardless of call-site kwarg order.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 _REGISTRY = MetricsRegistry()
 
 

@@ -42,13 +42,23 @@ from repro.resilience.health import (
 )
 from repro.resilience.checkpoint import (
     CHECKPOINT_FORMAT,
+    INGEST_CHECKPOINT_FORMAT,
+    IngestCheckpoint,
     RefinerCheckpoint,
+    ingest_fingerprint,
     load_checkpoint,
+    load_ingest_checkpoint,
     save_checkpoint,
+    save_ingest_checkpoint,
 )
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "INGEST_CHECKPOINT_FORMAT",
+    "IngestCheckpoint",
+    "ingest_fingerprint",
+    "load_ingest_checkpoint",
+    "save_ingest_checkpoint",
     "CONVERGED",
     "DIVERGED",
     "EXIT_DATA",

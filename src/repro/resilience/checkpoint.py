@@ -27,6 +27,7 @@ from repro.cbgp.parse import parse_script
 from repro.errors import CheckpointError, ParseError
 
 CHECKPOINT_FORMAT = "repro/refiner-checkpoint/v1"
+INGEST_CHECKPOINT_FORMAT = "repro/ingest-checkpoint/v1"
 
 logger = logging.getLogger(__name__)
 
@@ -127,6 +128,103 @@ def load_checkpoint(path: str | Path) -> RefinerCheckpoint:
             best_matched=int(document["best_matched"]),
             stale_iterations=int(document["stale_iterations"]),
             iterations=list(document["iterations"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is missing fields: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Ingest checkpoints (line-offset resume for streaming feed ingestion)
+# ---------------------------------------------------------------------------
+
+_FINGERPRINT_HEAD = 64 * 1024
+
+
+def ingest_fingerprint(path: str | Path) -> str:
+    """A cheap identity for a feed file: size plus a head-of-file digest.
+
+    A multi-GB dump must not be re-hashed in full just to resume, but a
+    checkpoint taken against one feed must refuse to steer an ingest of
+    a different one.  Size + SHA-256 of the first 64 KiB catches every
+    realistic swap (different snapshot, different collector) without
+    touching more than one read's worth of data.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        digest.update(handle.read(_FINGERPRINT_HEAD))
+    return f"{size}:{digest.hexdigest()}"
+
+
+@dataclass
+class IngestCheckpoint:
+    """The persisted progress of an in-progress feed ingest.
+
+    ``byte_offset`` always sits on a line boundary of the source feed;
+    ``out_offset`` is the matching length of the clean output file, so a
+    resume can truncate away any records appended after the snapshot and
+    the (source position, output position, report counters) triple stays
+    consistent no matter where the interruption landed.
+    """
+
+    source: str
+    fingerprint: str
+    byte_offset: int = 0
+    line_number: int = 0
+    out_offset: int = 0
+    complete: bool = False
+    report: dict = field(default_factory=dict)
+
+
+def save_ingest_checkpoint(path: str | Path, checkpoint: IngestCheckpoint) -> None:
+    """Atomically write an ingest checkpoint (tmp sibling + ``os.replace``)."""
+    path = Path(path)
+    document = {
+        "format": INGEST_CHECKPOINT_FORMAT,
+        "source": checkpoint.source,
+        "fingerprint": checkpoint.fingerprint,
+        "byte_offset": checkpoint.byte_offset,
+        "line_number": checkpoint.line_number,
+        "out_offset": checkpoint.out_offset,
+        "complete": checkpoint.complete,
+        "report": checkpoint.report,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document), encoding="ascii")
+    os.replace(tmp, path)
+    logger.debug(
+        "ingest checkpoint at line %d (byte %d) to %s",
+        checkpoint.line_number, checkpoint.byte_offset, path,
+    )
+
+
+def load_ingest_checkpoint(path: str | Path) -> IngestCheckpoint:
+    """Read a checkpoint written by :func:`save_ingest_checkpoint`."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="ascii"))
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"checkpoint {path} is not valid JSON: {error}") from error
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != INGEST_CHECKPOINT_FORMAT
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported format "
+            f"{document.get('format') if isinstance(document, dict) else type(document)}"
+        )
+    try:
+        return IngestCheckpoint(
+            source=str(document["source"]),
+            fingerprint=str(document["fingerprint"]),
+            byte_offset=int(document["byte_offset"]),
+            line_number=int(document["line_number"]),
+            out_offset=int(document["out_offset"]),
+            complete=bool(document.get("complete", False)),
+            report=dict(document.get("report") or {}),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(f"checkpoint {path} is missing fields: {error}") from error

@@ -11,7 +11,10 @@ from repro.topology.dataset import ObservedRoute, PathDataset
 from repro.topology.graph import ASGraph
 from repro.topology.clique import infer_level1_clique
 from repro.topology.classify import ASClassification, classify_ases
-from repro.topology.prune import prune_single_homed_stubs
+from repro.topology.prune import (
+    prune_single_homed_stubs,
+    restrict_to_largest_component,
+)
 from repro.topology.diversity import (
     DiversityReport,
     distinct_paths_histogram,
@@ -28,6 +31,7 @@ __all__ = [
     "ASClassification",
     "classify_ases",
     "prune_single_homed_stubs",
+    "restrict_to_largest_component",
     "DiversityReport",
     "distinct_paths_histogram",
     "max_unique_paths_per_as",

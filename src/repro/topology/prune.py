@@ -79,3 +79,33 @@ def prune_single_homed_stubs(
         transferred_routes=transferred,
         dropped_routes=dropped,
     )
+
+
+def restrict_to_largest_component(graph: ASGraph) -> tuple[ASGraph, set[int]]:
+    """Keep only the largest connected component of ``graph``.
+
+    Real ingested AS graphs (CAIDA as-rel files, noisy table dumps) are
+    not connected: quarantine-surviving fragments and stale edges leave
+    small islands that would crash clique inference and bias the
+    classification.  Returns the restricted graph and the set of ASNs
+    that were dropped; an empty graph passes through unchanged.
+    """
+    remaining = graph.ases()
+    best: set[int] = set()
+    while remaining and len(remaining) > len(best):
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            asn = frontier.pop()
+            for neighbor in graph.neighbors(asn):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        remaining -= component
+        if len(component) > len(best):
+            best = component
+    if not best:
+        return graph.copy(), set()
+    dropped = graph.ases() - best
+    return graph.subgraph(best), dropped

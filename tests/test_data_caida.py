@@ -1,0 +1,91 @@
+"""Unit tests for the hardened CAIDA as-rel parser."""
+
+import io
+
+import pytest
+
+from repro.data.caida import iter_as_rel, read_as_rel
+from repro.errors import DatasetError, ParseError
+from repro.relationships.types import Relationship
+
+P2C = "3356|15133|-1\n"
+PEER = "3356|1299|0\n"
+SIBLING = "3356|3549|1|bgp\n"
+HEADER = "# source: CAIDA serial-1\n"
+
+
+class TestIterAsRel:
+    def test_relationship_codes(self):
+        results = list(iter_as_rel([P2C, PEER, SIBLING]))
+        assert [r.record.relationship for r in results] == [
+            Relationship.CUSTOMER,
+            Relationship.PEER,
+            Relationship.SIBLING,
+        ]
+        assert results[0].record.asn_a == 3356
+        assert results[0].record.asn_b == 15133
+
+    def test_comments_and_blanks_are_not_records(self):
+        results = list(iter_as_rel([HEADER, "\n", P2C]))
+        assert len(results) == 1
+        assert results[0].line_number == 3
+
+    @pytest.mark.parametrize(
+        "line,reason",
+        [
+            ("3356|15133\n", "malformed-fields"),
+            ("3356|abc|-1\n", "malformed-fields"),
+            ("3356|4294967296|-1\n", "malformed-fields"),
+            ("3356|3356|0\n", "self-edge"),
+            ("3356|15133|2\n", "bad-relationship"),
+            ("3356|15133|x\n", "bad-relationship"),
+            ("3356|64512|-1\n", "bogon-asn"),
+        ],
+    )
+    def test_typed_rejections(self, line, reason):
+        (result,) = iter_as_rel([line])
+        assert result.record is None
+        assert result.rejection.reason == reason
+
+    def test_bogons_kept_when_disabled(self):
+        (result,) = iter_as_rel(["3356|64512|-1\n"], drop_bogons=False)
+        assert result.accepted
+
+    def test_undecodable_bytes_quarantine_one_line(self):
+        results = list(iter_as_rel([P2C.encode(), b"\xff\xfe|1|0\n", PEER.encode()]))
+        assert [r.accepted for r in results] == [True, False, True]
+        assert results[1].rejection.reason == "undecodable-bytes"
+
+    def test_strict_mode_names_the_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(iter_as_rel([P2C, "3356|3356|0\n"], strict=True))
+        assert "line 2" in str(excinfo.value)
+        assert "self-edge" in str(excinfo.value)
+
+
+class TestReadAsRel:
+    def test_builds_graph_and_relationship_map(self):
+        result = read_as_rel(io.StringIO(HEADER + P2C + PEER))
+        assert result.graph.ases() == {3356, 15133, 1299}
+        assert result.graph.has_edge(3356, 15133)
+        assert result.relationships.get(3356, 15133) is Relationship.CUSTOMER
+        assert result.relationships.get(15133, 3356) is Relationship.PROVIDER
+        assert result.report.accepted == 2
+        assert result.report.is_accounted()
+
+    def test_duplicate_edges_keep_first_and_are_counted(self):
+        result = read_as_rel(io.StringIO(P2C + "3356|15133|0\n"))
+        assert result.relationships.get(3356, 15133) is Relationship.CUSTOMER
+        assert result.report.modified == {"duplicate-edge": 1}
+        assert result.report.accepted == 2  # both lines parsed fine
+
+    def test_mostly_garbage_trips_quality_gate(self):
+        with pytest.raises(DatasetError):
+            read_as_rel(io.StringIO("junk\n" * 9 + P2C))
+
+    def test_file_with_binary_line_survives(self, tmp_path):
+        path = tmp_path / "as-rel.txt"
+        path.write_bytes(P2C.encode() + b"\xff\xfe\n" + PEER.encode())
+        result = read_as_rel(path)
+        assert result.report.quarantined == {"undecodable-bytes": 1}
+        assert result.graph.num_edges() == 2

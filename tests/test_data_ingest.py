@@ -1,0 +1,485 @@
+"""Tests for the fault-tolerant, resumable ingestion pipeline."""
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data.ingest import IngestConfig, _Breaker, ingest_table_dump
+from repro.errors import CheckpointError, IngestError, ShutdownRequested
+from repro.obs.metrics import get_registry, labelled
+from repro.resilience.checkpoint import load_ingest_checkpoint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "dirty_feed.dump"
+
+GOOD_PEERS = (3356, 1299, 174, 2914, 6939)
+GOOD_TAILS = (15133, 13335, 15169, 32934, 20940, 54113)
+
+
+def good_line(rng: random.Random) -> bytes:
+    peer = rng.choice(GOOD_PEERS)
+    tail = rng.sample(GOOD_TAILS, rng.randint(1, 3))
+    path = " ".join(str(asn) for asn in [peer] + tail)
+    prefix = f"93.{rng.randrange(256)}.{rng.randrange(256)}.0/24"
+    return (
+        f"TABLE_DUMP2|1131867000|B|4.69.1.1|{peer}|{prefix}|{path}"
+        f"|IGP|4.69.1.1|0|0||NAG|"
+    ).encode()
+
+
+def lenient_config(**overrides) -> IngestConfig:
+    """An IngestConfig with every abort mechanism off (pure accounting)."""
+    defaults = dict(max_malformed_fraction=None, burst_window=0)
+    defaults.update(overrides)
+    return IngestConfig(**defaults)
+
+
+class TestFixtureComposition:
+    """The checked-in dirty fixture matches its advertised composition."""
+
+    def test_counts_match_the_ci_check_script(self, tmp_path):
+        result = ingest_table_dump(FIXTURE)
+        report_path = tmp_path / "report.json"
+        report_path.write_text(result.report.to_json())
+        process = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "check_ingest_fixture.py"),
+                str(report_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert process.returncode == 0, process.stdout + process.stderr
+
+    def test_every_line_is_accounted(self):
+        result = ingest_table_dump(FIXTURE)
+        report = result.report
+        assert report.is_accounted()
+        assert report.lines == 23
+        assert report.accepted == len(result.dataset) == 10
+
+    def test_metrics_mirror_the_report(self):
+        registry = get_registry()
+        registry.reset()
+        result = ingest_table_dump(FIXTURE)
+        counters = registry.snapshot()["counters"]
+        assert counters["ingest.lines"] == result.report.lines
+        assert counters["ingest.accepted"] == result.report.accepted
+        for reason, count in result.report.quarantined.items():
+            name = labelled("ingest.quarantined", reason=reason)
+            assert counters[name] == count
+
+
+class TestFuzzAccounting:
+    """10k randomly corrupted lines: no crash, every line accounted."""
+
+    CORRUPTIONS = [
+        lambda line, rng: line,  # leave it alone
+        lambda line, rng: b"|".join(line.split(b"|")[:5]),  # truncate fields
+        lambda line, rng: line.replace(b"|B|", b"|B|", 1).replace(
+            line.split(b"|")[4], b"x" + line.split(b"|")[4], 1
+        ),  # non-numeric peer AS
+        lambda line, rng: line.replace(b".0/24|", b".0|", 1),  # prefix sans /len
+        lambda line, rng: line.replace(
+            line.split(b"|")[5], b"10.%d.0.0/16" % rng.randrange(256), 1
+        ),  # martian prefix
+        lambda line, rng: line.replace(
+            line.split(b"|")[6], b"not a path", 1
+        ),  # unparseable path
+        lambda line, rng: line.replace(
+            line.split(b"|")[6],
+            line.split(b"|")[6] + b" {64700,64701}",
+            1,
+        ),  # AS_SET aggregate
+        lambda line, rng: line.replace(
+            line.split(b"|")[6], b"65000 65001", 1
+        ),  # path not starting at peer
+        lambda line, rng: line.replace(
+            line.split(b"|")[6],
+            line.split(b"|")[6] + b" " + line.split(b"|")[6],
+            1,
+        ),  # looped path (path followed by itself)
+        lambda line, rng: line.replace(
+            line.split(b"|")[6], line.split(b"|")[6] + b" 23456", 1
+        ),  # AS_TRANS bogon on the path
+        lambda line, rng: line[:20] + b"\xff\xc3" + line[20:],  # binary bytes
+        lambda line, rng: bytes(
+            rng.choice(b"abc|{}0123456789 ") for _ in range(rng.randint(1, 60))
+        )
+        or b"x",  # unstructured junk
+        lambda line, rng: b"TBL_DUMP9" + line[11:],  # wrong record type
+    ]
+
+    def test_fuzzed_feed_never_crashes_and_accounts_every_line(self, tmp_path):
+        rng = random.Random(20060813)
+        total = 10_000
+        path = tmp_path / "fuzz.dump"
+        with open(path, "wb") as handle:
+            for _ in range(total):
+                line = good_line(rng)
+                if rng.random() < 0.7:
+                    line = rng.choice(self.CORRUPTIONS)(line, rng)
+                if not line.strip() or line.strip().startswith(b"#"):
+                    line = b"x"  # keep every written line a record line
+                handle.write(line + b"\n")
+
+        result = ingest_table_dump(path, config=lenient_config())
+        report = result.report
+        assert report.lines == total
+        assert report.is_accounted()
+        assert report.accepted + report.total_quarantined == total
+        assert report.accepted == len(result.dataset)
+        # the corruption mix must actually exercise the taxonomy
+        assert len(report.quarantined) >= 6
+        assert "undecodable-bytes" in report.quarantined
+        assert "path-loop" in report.quarantined
+
+
+class TestCircuitBreaker:
+    def test_trips_only_on_a_full_window(self):
+        breaker = _Breaker(10, 0.9)
+        for _ in range(9):
+            assert not breaker.observe(True)
+        assert breaker.observe(True)
+
+    def test_good_lines_keep_it_closed(self):
+        breaker = _Breaker(10, 0.9)
+        for index in range(100):
+            assert not breaker.observe(index % 2 == 0)  # 50% damage
+
+    def test_feed_turning_to_garbage_aborts_with_partial_report(self, tmp_path):
+        rng = random.Random(7)
+        path = tmp_path / "rotten.dump"
+        with open(path, "wb") as handle:
+            for _ in range(200):
+                handle.write(good_line(rng) + b"\n")
+            for _ in range(600):
+                handle.write(b"garbage|line\n")
+        config = lenient_config(burst_window=100, burst_threshold=0.9)
+        with pytest.raises(IngestError) as excinfo:
+            ingest_table_dump(path, config=config)
+        assert "turned to garbage" in str(excinfo.value)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.is_accounted()
+        assert report.accepted == 200
+        # it tripped long before EOF
+        assert report.lines < 800
+
+    def test_disabled_breaker_reads_to_the_end(self, tmp_path):
+        path = tmp_path / "rotten.dump"
+        path.write_bytes(b"garbage|line\n" * 700)
+        result = ingest_table_dump(path, config=lenient_config())
+        assert result.report.lines == 700
+        assert result.report.accepted == 0
+
+
+class TestCheckpointResume:
+    def _write_feed(self, path, lines=2000, seed=11):
+        rng = random.Random(seed)
+        with open(path, "wb") as handle:
+            for index in range(lines):
+                if index % 7 == 3:
+                    handle.write(b"garbage|line\n")
+                elif index % 13 == 5:
+                    handle.write(b"TABLE_DUMP2|1|B|4.69.1.1|\xff\xfe|x\n")
+                else:
+                    handle.write(good_line(rng) + b"\n")
+
+    def test_interrupted_resume_equals_uninterrupted_run(self, tmp_path):
+        feed = tmp_path / "feed.dump"
+        self._write_feed(feed)
+        config = lenient_config(checkpoint_every=100)
+
+        base = ingest_table_dump(
+            feed,
+            out_path=tmp_path / "base.clean",
+            checkpoint_path=tmp_path / "base.ckpt",
+            config=config,
+        )
+
+        calls = {"n": 0}
+
+        def stop():
+            calls["n"] += 1
+            return signal.SIGTERM if calls["n"] == 777 else None
+
+        with pytest.raises(ShutdownRequested):
+            ingest_table_dump(
+                feed,
+                out_path=tmp_path / "resumed.clean",
+                checkpoint_path=tmp_path / "resumed.ckpt",
+                config=config,
+                should_stop=stop,
+            )
+        checkpoint = load_ingest_checkpoint(tmp_path / "resumed.ckpt")
+        assert not checkpoint.complete
+        assert checkpoint.line_number == 777
+
+        resumed = ingest_table_dump(
+            feed,
+            out_path=tmp_path / "resumed.clean",
+            checkpoint_path=tmp_path / "resumed.ckpt",
+            resume=True,
+            config=config,
+        )
+        assert resumed.resumed_from_line == 777
+        assert resumed.report.to_dict() == base.report.to_dict()
+        assert (tmp_path / "resumed.clean").read_bytes() == (
+            tmp_path / "base.clean"
+        ).read_bytes()
+        assert len(resumed.dataset) == len(base.dataset)
+        assert resumed.dataset.unique_paths() == base.dataset.unique_paths()
+
+    def test_complete_checkpoint_makes_rerun_idempotent(self, tmp_path):
+        feed = tmp_path / "feed.dump"
+        self._write_feed(feed, lines=300)
+        config = lenient_config(checkpoint_every=50)
+        first = ingest_table_dump(
+            feed,
+            out_path=tmp_path / "clean.dump",
+            checkpoint_path=tmp_path / "ckpt.json",
+            config=config,
+        )
+        assert load_ingest_checkpoint(tmp_path / "ckpt.json").complete
+        again = ingest_table_dump(
+            feed,
+            out_path=tmp_path / "clean.dump",
+            checkpoint_path=tmp_path / "ckpt.json",
+            resume=True,
+            config=config,
+        )
+        assert again.resumed_from_line == first.report.lines == 300
+        assert again.report.to_dict() == first.report.to_dict()
+        assert len(again.dataset) == len(first.dataset)
+
+    def test_checkpoint_refuses_a_different_feed(self, tmp_path):
+        feed = tmp_path / "feed.dump"
+        self._write_feed(feed, lines=300)
+        ingest_table_dump(
+            feed,
+            out_path=tmp_path / "clean.dump",
+            checkpoint_path=tmp_path / "ckpt.json",
+            config=lenient_config(),
+        )
+        self._write_feed(feed, lines=300, seed=99)  # same name, new content
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            ingest_table_dump(
+                feed,
+                out_path=tmp_path / "clean.dump",
+                checkpoint_path=tmp_path / "ckpt.json",
+                resume=True,
+                config=lenient_config(),
+            )
+
+    def test_resume_requires_the_clean_output(self, tmp_path):
+        feed = tmp_path / "feed.dump"
+        self._write_feed(feed, lines=300)
+        ingest_table_dump(
+            feed,
+            out_path=tmp_path / "clean.dump",
+            checkpoint_path=tmp_path / "ckpt.json",
+            config=lenient_config(),
+        )
+        os.unlink(tmp_path / "clean.dump")
+        with pytest.raises(CheckpointError, match="missing or shorter"):
+            ingest_table_dump(
+                feed,
+                out_path=tmp_path / "clean.dump",
+                checkpoint_path=tmp_path / "ckpt.json",
+                resume=True,
+                config=lenient_config(),
+            )
+
+    def test_checkpoint_without_out_path_is_an_error(self, tmp_path):
+        feed = tmp_path / "feed.dump"
+        self._write_feed(feed, lines=10)
+        with pytest.raises(ValueError, match="out_path"):
+            ingest_table_dump(feed, checkpoint_path=tmp_path / "ckpt.json")
+
+
+class TestIngestCli:
+    def test_fixture_exits_0_and_emits_exact_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["ingest", str(FIXTURE), "--report", str(report_path), "--json"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert json.loads(stdout) == json.loads(report_path.read_text())
+        data = json.loads(stdout)
+        assert data["lines"] == 23
+        assert data["quarantined"]["undecodable-bytes"] == 1
+
+    def test_quality_gate_failure_exits_1_with_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "ingest",
+                str(FIXTURE),
+                "--max-malformed-fraction",
+                "0.1",
+                "--report",
+                str(report_path),
+                "--json",
+            ]
+        )
+        assert code == 1
+        # the report is still written so the failure is diagnosable
+        data = json.loads(report_path.read_text())
+        assert data["lines"] == 23
+
+    def test_resume_without_checkpoint_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["ingest", str(FIXTURE), "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_without_out_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["ingest", str(FIXTURE), "--checkpoint", str(tmp_path / "c.json")]
+        )
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_unreadable_feed_exits_4(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["ingest", str(tmp_path / "missing.dump")]) == 4
+
+    def test_strict_mode_exits_1_naming_the_line(self, capsys):
+        from repro.cli import main
+
+        assert main(["ingest", str(FIXTURE), "--strict"]) == 1
+        assert "line " in capsys.readouterr().err
+
+    def test_as_rel_rejects_checkpoint_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "ingest",
+                str(FIXTURE),
+                "--format",
+                "as-rel",
+                "--out",
+                str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+
+    def test_as_rel_feed_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        feed = tmp_path / "as-rel.txt"
+        feed.write_text(
+            "# provenance\n3356|15133|-1\n3356|1299|0\njunk line\n"
+        )
+        code = main(
+            [
+                "ingest",
+                str(feed),
+                "--format",
+                "as-rel",
+                "--json",
+                "--no-quality-gate",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "as-rel"
+        assert data["accepted"] == 2
+        assert data["quarantined"]["malformed-fields"] == 1
+
+
+class TestSigtermResume:
+    """Acceptance: SIGTERM mid-file, then --resume, equals an uninterrupted run."""
+
+    LINES = 50_000
+
+    def _spawn(self, args):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "ingest", *args],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def test_sigterm_then_resume_matches_uninterrupted(self, tmp_path):
+        rng = random.Random(42)
+        feed = tmp_path / "feed.dump"
+        with open(feed, "wb") as handle:
+            for index in range(self.LINES):
+                if index % 11 == 4:
+                    handle.write(b"garbage|line\n")
+                else:
+                    handle.write(good_line(rng) + b"\n")
+
+        base_args = ["--no-quality-gate", "--checkpoint-every", "500"]
+
+        # Baseline: uninterrupted run.
+        process = self._spawn(
+            [
+                str(feed),
+                "--out", str(tmp_path / "base.clean"),
+                "--checkpoint", str(tmp_path / "base.ckpt"),
+                "--report", str(tmp_path / "base.json"),
+                *base_args,
+            ]
+        )
+        assert process.wait(timeout=120) == 0
+
+        # Interrupted run: SIGTERM once the first checkpoint exists.
+        ckpt = tmp_path / "run.ckpt"
+        run_args = [
+            str(feed),
+            "--out", str(tmp_path / "run.clean"),
+            "--checkpoint", str(ckpt),
+            "--report", str(tmp_path / "run.json"),
+            *base_args,
+        ]
+        process = self._spawn(run_args)
+        try:
+            deadline = time.time() + 60
+            while not ckpt.exists() and time.time() < deadline:
+                time.sleep(0.01)
+                if process.poll() is not None:
+                    break
+            assert ckpt.exists(), "no checkpoint appeared before the deadline"
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 5, "expected the run to be interrupted mid-file"
+        assert not load_ingest_checkpoint(ckpt).complete
+
+        # Resume and compare against the baseline.
+        process = self._spawn([*run_args, "--resume"])
+        assert process.wait(timeout=120) == 0
+        assert load_ingest_checkpoint(ckpt).complete
+
+        base_report = json.loads((tmp_path / "base.json").read_text())
+        run_report = json.loads((tmp_path / "run.json").read_text())
+        assert run_report == base_report
+        assert (tmp_path / "run.clean").read_bytes() == (
+            tmp_path / "base.clean"
+        ).read_bytes()

@@ -219,3 +219,106 @@ class TestMalformedThreshold:
             read_table_dump(
                 io.StringIO(self.BAD), strict=True, max_malformed_fraction=None
             )
+
+    def test_as_set_skips_do_not_count_against_guard(self):
+        as_set = (
+            "TABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 {2,3}|IGP|0.1.0.1|0|0||NAG|\n"
+        )
+        result = read_table_dump(io.StringIO(as_set * 9 + self.GOOD))
+        assert result.skipped_as_set == 9
+        assert result.skipped_malformed == 0
+        assert len(result.dataset) == 1
+
+    def test_bad_prefix_with_as_set_path_counts_as_malformed(self):
+        # Historically a line with a broken prefix *and* an AS_SET path was
+        # misclassified as an AS_SET skip, hiding the damage from the
+        # guard.  Fields are now checked left-to-right: the prefix wins.
+        import pytest
+
+        from repro.errors import DatasetError
+
+        bad = "TABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0|1 {2,3}|IGP|0.1.0.1|0|0||NAG|\n"
+        result = read_table_dump(
+            io.StringIO(bad + self.GOOD * 2), max_malformed_fraction=None
+        )
+        assert result.skipped_malformed == 1
+        assert result.skipped_as_set == 0
+        assert result.report.quarantined == {"bad-prefix": 1}
+        with pytest.raises(DatasetError):
+            read_table_dump(io.StringIO(bad * 2 + self.GOOD))
+
+
+class TestHardenedParser:
+    """Satellite regressions: lenient mode survives what used to crash."""
+
+    GOOD = TestMalformedThreshold.GOOD
+
+    def test_bad_peer_as_is_quarantined_not_a_crash(self):
+        # Regression: int(peer_as) raised ValueError even in lenient mode.
+        bad = "TABLE_DUMP2|1|B|0.1.0.1|x7|10.0.0.0/24|7 2|IGP|0.1.0.1|0|0||NAG|\n"
+        result = read_table_dump(io.StringIO(self.GOOD + bad))
+        assert result.skipped_malformed == 1
+        assert result.report.quarantined == {"bad-peer-as": 1}
+        assert len(result.dataset) == 1
+
+    def test_peer_as_out_of_range_is_quarantined(self):
+        bad = (
+            "TABLE_DUMP2|1|B|0.1.0.1|4294967296|10.0.0.0/24|7 2"
+            "|IGP|0.1.0.1|0|0||NAG|\n"
+        )
+        result = read_table_dump(io.StringIO(self.GOOD + bad))
+        assert result.report.quarantined == {"bad-peer-as": 1}
+
+    def test_non_ascii_bytes_quarantine_one_line(self, tmp_path):
+        # Regression: the reader opened files with encoding="ascii", so a
+        # single stray byte aborted the whole read with UnicodeDecodeError.
+        path = tmp_path / "dirty.dump"
+        path.write_bytes(
+            self.GOOD.encode()
+            + b"TABLE_DUMP2|1|B|0.1.0.1|1|\xff\xfe not text\n"
+            + self.GOOD.encode()
+        )
+        result = read_table_dump(path)
+        assert result.report.quarantined == {"undecodable-bytes": 1}
+        assert len(result.dataset) == 2
+
+    def test_rejections_carry_1_based_line_numbers(self):
+        from repro.data.dumps import iter_table_dump
+
+        lines = ["# comment\n", "\n", self.GOOD, "garbage|line\n"]
+        results = list(iter_table_dump(lines))
+        assert [r.line_number for r in results] == [3, 4]
+        assert results[0].accepted
+        assert results[1].rejection.line_number == 4
+
+    def test_strict_error_names_line_and_field(self):
+        import pytest
+
+        from repro.errors import ParseError
+
+        bad = "TABLE_DUMP2|1|B|0.1.0.1|x7|10.0.0.0/24|7 2|IGP|0.1.0.1|0|0||NAG|\n"
+        with pytest.raises(ParseError) as excinfo:
+            read_table_dump(io.StringIO(self.GOOD * 2 + bad), strict=True)
+        message = str(excinfo.value)
+        assert "line 3" in message
+        assert "bad-peer-as" in message
+        assert "'x7'" in message
+
+    def test_strict_undecodable_bytes_name_the_line(self, tmp_path):
+        import pytest
+
+        from repro.errors import ParseError
+
+        path = tmp_path / "dirty.dump"
+        path.write_bytes(self.GOOD.encode() + b"\xff\xfe\n")
+        with pytest.raises(ParseError) as excinfo:
+            read_table_dump(path, strict=True)
+        assert "line 2" in str(excinfo.value)
+
+    def test_strict_mode_tolerates_as_set_lines(self):
+        as_set = (
+            "TABLE_DUMP2|1|B|0.1.0.1|1|10.0.0.0/24|1 {2,3}|IGP|0.1.0.1|0|0||NAG|\n"
+        )
+        result = read_table_dump(io.StringIO(self.GOOD + as_set), strict=True)
+        assert result.skipped_as_set == 1
+        assert len(result.dataset) == 1

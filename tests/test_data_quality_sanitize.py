@@ -1,0 +1,212 @@
+"""Unit tests for the record-quality taxonomy and sanitization passes."""
+
+import pytest
+
+from repro.data.quality import (
+    AS_SET,
+    BOGON_ASN,
+    EXPECTED_REASONS,
+    MARTIAN_PREFIX,
+    PATH_LOOP,
+    REASONS,
+    IngestReport,
+    Rejection,
+    is_bogon_asn,
+    is_martian_prefix,
+)
+from repro.data.sanitize import (
+    PREPEND_COLLAPSE,
+    SanitizeConfig,
+    sanitize_route,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.obs.metrics import labelled
+from repro.topology.dataset import ObservedRoute
+
+
+def route(asns, prefix="93.184.216.0/24", observer=None):
+    asns = tuple(asns)
+    observer = asns[0] if observer is None else observer
+    return ObservedRoute("peer|obs", observer, Prefix(prefix), ASPath(asns))
+
+
+class TestBogonAsn:
+    @pytest.mark.parametrize(
+        "asn",
+        [
+            0,  # RFC 7607
+            23456,  # AS_TRANS (RFC 4893)
+            64496, 64511,  # documentation (RFC 5398)
+            64512, 65534,  # private 2-byte (RFC 6996)
+            65535,  # reserved all-ones
+            65536, 65551,  # documentation 4-byte (RFC 5398)
+            4200000000, 4294967294,  # private 4-byte (RFC 6996)
+            4294967295,  # reserved all-ones
+        ],
+    )
+    def test_reserved_asns_are_bogon(self, asn):
+        assert is_bogon_asn(asn)
+
+    @pytest.mark.parametrize(
+        "asn", [1, 3356, 15169, 23455, 23457, 64495, 65552, 4199999999]
+    )
+    def test_allocatable_asns_are_not(self, asn):
+        assert not is_bogon_asn(asn)
+
+
+class TestMartianPrefix:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "0.0.0.0/8",
+            "10.1.2.0/24",
+            "100.64.0.0/10",
+            "127.0.0.0/8",
+            "169.254.10.0/24",
+            "172.16.0.0/12",
+            "192.0.2.0/24",
+            "192.168.99.0/24",
+            "198.18.0.0/15",
+            "198.51.100.0/24",
+            "203.0.113.0/24",
+            "224.0.0.0/4",
+            "240.0.0.0/4",
+        ],
+    )
+    def test_reserved_space_is_martian(self, text):
+        assert is_martian_prefix(Prefix(text))
+
+    @pytest.mark.parametrize(
+        "text", ["8.8.8.0/24", "93.184.216.0/24", "172.32.0.0/12", "198.41.0.0/24"]
+    )
+    def test_public_space_is_not(self, text):
+        assert not is_martian_prefix(Prefix(text))
+
+
+class TestSanitizeRoute:
+    def test_clean_route_passes_unchanged(self):
+        original = route([3356, 1299, 15133])
+        outcome = sanitize_route(original)
+        assert outcome.route is original
+        assert outcome.rejection is None
+        assert outcome.prepends_collapsed == 0
+
+    def test_prepends_collapse_and_are_counted(self):
+        outcome = sanitize_route(route([3356, 1299, 1299, 1299, 15133]))
+        assert outcome.route.path.asns == (3356, 1299, 15133)
+        assert outcome.prepends_collapsed == 2
+
+    def test_loop_is_dropped_with_typed_reason(self):
+        outcome = sanitize_route(route([3356, 1299, 174, 1299]), line_number=7)
+        assert outcome.route is None
+        assert outcome.rejection.reason == PATH_LOOP
+        assert outcome.rejection.line_number == 7
+
+    def test_prepending_is_not_a_loop(self):
+        outcome = sanitize_route(route([3356, 1299, 1299, 174]))
+        assert outcome.route is not None
+
+    def test_loop_judged_after_prepend_collapse(self):
+        # 1 2 2 1 really is a loop; the consecutive 2s are not.
+        outcome = sanitize_route(route([3356, 1299, 1299, 3356]))
+        assert outcome.rejection.reason == PATH_LOOP
+
+    def test_bogon_asn_in_path_is_dropped(self):
+        outcome = sanitize_route(route([3356, 23456, 15133]))
+        assert outcome.rejection.reason == BOGON_ASN
+        assert "23456" in outcome.rejection.detail
+
+    def test_bogon_observer_is_dropped(self):
+        outcome = sanitize_route(route([64512, 3356]))
+        assert outcome.rejection.reason == BOGON_ASN
+        assert "64512" in outcome.rejection.detail
+
+    def test_martian_prefix_is_dropped(self):
+        outcome = sanitize_route(route([3356, 1299], prefix="10.0.0.0/8"))
+        assert outcome.rejection.reason == MARTIAN_PREFIX
+
+    def test_loop_wins_over_bogon(self):
+        # Pass order is fixed: a looped path with a bogon ASN reports the loop.
+        outcome = sanitize_route(route([3356, 64512, 3356]))
+        assert outcome.rejection.reason == PATH_LOOP
+
+    def test_synthetic_config_keeps_bogons_and_martians(self):
+        config = SanitizeConfig.for_synthetic()
+        bogon = sanitize_route(route([3356, 64512]), config=config)
+        martian = sanitize_route(route([3356], prefix="0.10.0.0/24"), config=config)
+        assert bogon.route is not None
+        assert martian.route is not None
+        # but loops still die
+        loop = sanitize_route(route([3356, 1299, 3356]), config=config)
+        assert loop.rejection.reason == PATH_LOOP
+
+
+class TestIngestReport:
+    def test_every_line_lands_in_exactly_one_bucket(self):
+        report = IngestReport()
+        report.record_accept()
+        report.record_accept()
+        report.record_reject(Rejection(PATH_LOOP, 3))
+        report.record_reject(Rejection(AS_SET, 4))
+        assert report.lines == 4
+        assert report.accepted == 2
+        assert report.total_quarantined == 2
+        assert report.is_accounted()
+
+    def test_damaged_excludes_expected_reasons(self):
+        report = IngestReport()
+        report.record_reject(Rejection(AS_SET, 1))
+        report.record_reject(Rejection(PATH_LOOP, 2))
+        assert AS_SET in EXPECTED_REASONS
+        assert report.damaged == 1
+        assert report.damaged_fraction == 0.5
+
+    def test_samples_capped_at_three_per_reason(self):
+        report = IngestReport()
+        for n in range(1, 6):
+            report.record_reject(Rejection(PATH_LOOP, n, line=f"line {n}"))
+        assert report.quarantined[PATH_LOOP] == 5
+        assert len(report.samples[PATH_LOOP]) == 3
+        assert report.samples[PATH_LOOP][0]["line_number"] == 1
+
+    def test_dict_round_trip_is_lossless(self):
+        report = IngestReport(source="feed.dump")
+        report.record_accept()
+        report.record_reject(Rejection(BOGON_ASN, 2, detail="AS 0", line="raw"))
+        report.record_modified(PREPEND_COLLAPSE, 3)
+        rebuilt = IngestReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.is_accounted()
+
+    def test_render_names_reasons_and_counts(self):
+        report = IngestReport(source="feed.dump")
+        report.record_accept()
+        report.record_reject(Rejection(MARTIAN_PREFIX, 2, line="bad line"))
+        text = report.render()
+        assert "feed.dump" in text
+        assert MARTIAN_PREFIX in text
+        assert "bad line" in text
+
+    def test_reason_constants_are_unique(self):
+        assert len(set(REASONS)) == len(REASONS)
+
+    def test_rejection_describe_names_position(self):
+        rejection = Rejection(BOGON_ASN, 17, detail="AS 23456", line="raw|line")
+        described = rejection.describe()
+        assert described.startswith("line 17: bogon-asn")
+        assert "AS 23456" in described
+
+
+class TestLabelledMetric:
+    def test_prometheus_style_rendering(self):
+        assert (
+            labelled("ingest.quarantined", reason="as-set")
+            == 'ingest.quarantined{reason="as-set"}'
+        )
+
+    def test_labels_sorted_for_stable_names(self):
+        assert labelled("m", b="2", a="1") == 'm{a="1",b="2"}'
+
+    def test_no_labels_is_bare_name(self):
+        assert labelled("m") == "m"
