@@ -14,3 +14,9 @@ def test_lint_scaling(benchmark, workload, workload_name):
     assert len(result.rows) == 3
     # static analysis must stay orders of magnitude cheaper than simulating
     assert all(result.metrics[f"seconds_x{f}"] < 60 for f in (0.25, 0.5, 1.0))
+    # incremental re-certification after one policy install: headline
+    # full/incremental columns present, bit-identical to a fresh pass,
+    # touching only a sliver of the certificates, and >= 10x faster
+    assert result.metrics["incremental_equal"] == 1.0
+    assert result.metrics["invalidated_fraction"] < 0.5
+    assert result.metrics["full_ms"] >= 10 * result.metrics["incremental_ms"]

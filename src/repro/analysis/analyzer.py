@@ -10,7 +10,11 @@ config file parsed into one) and requires no simulation.  Passes:
   only run when a training dataset is supplied;
 * ``topology`` — structural lint (:mod:`.topology_lint`); observation-
   point reachability only runs when observer ASes are known (defaulting
-  to the dataset's observers).
+  to the dataset's observers);
+* ``gao`` — Gao-Rexford valley-free export compliance plus
+  provider-customer hierarchy-cycle detection (:mod:`.gaorexford`);
+  only runs when a :class:`~repro.relationships.types.RelationshipMap`
+  (from ingested CAIDA as-rel data) is supplied.
 """
 
 from __future__ import annotations
@@ -19,17 +23,19 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.findings import AnalysisReport
+from repro.analysis.gaorexford import analyze_gao_rexford
 from repro.analysis.policy_lint import analyze_policies
 from repro.analysis.safety import analyze_safety
 from repro.analysis.topology_lint import analyze_topology
 from repro.bgp.network import Network
 from repro.net.prefix import Prefix
+from repro.relationships.types import RelationshipMap
 from repro.topology.dataset import PathDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.model import ASRoutingModel
 
-ALL_PASSES = ("safety", "policy", "topology")
+ALL_PASSES = ("safety", "policy", "topology", "gao")
 
 
 def analyze_network(
@@ -38,6 +44,7 @@ def analyze_network(
     observer_asns: set[int] | None = None,
     prefix_by_origin: dict[int, Prefix] | None = None,
     passes: Iterable[str] = ALL_PASSES,
+    relationships: RelationshipMap | None = None,
 ) -> AnalysisReport:
     """Run the selected static passes over ``network``."""
     selected = list(passes)
@@ -55,6 +62,8 @@ def analyze_network(
         )
     if "topology" in selected:
         report.extend(analyze_topology(network, observer_asns), "topology")
+    if "gao" in selected and relationships is not None:
+        report.extend(analyze_gao_rexford(network, relationships), "gao")
     return report
 
 
@@ -63,6 +72,7 @@ def analyze_model(
     dataset: PathDataset | None = None,
     observer_asns: set[int] | None = None,
     passes: Iterable[str] = ALL_PASSES,
+    relationships: RelationshipMap | None = None,
 ) -> AnalysisReport:
     """Run the analyzer over a model, using its origin -> prefix mapping."""
     return analyze_network(
@@ -71,6 +81,7 @@ def analyze_model(
         observer_asns=observer_asns,
         prefix_by_origin=dict(model.prefix_by_origin),
         passes=passes,
+        relationships=relationships,
     )
 
 
@@ -79,6 +90,7 @@ def analyze_config(
     dataset: PathDataset | None = None,
     observer_asns: set[int] | None = None,
     passes: Iterable[str] = ALL_PASSES,
+    relationships: RelationshipMap | None = None,
 ) -> AnalysisReport:
     """Parse a C-BGP-style config file and run the analyzer over it."""
     from repro.cbgp.parse import parse_file
@@ -88,4 +100,5 @@ def analyze_config(
         dataset=dataset,
         observer_asns=observer_asns,
         passes=passes,
+        relationships=relationships,
     )

@@ -1,0 +1,116 @@
+"""Static model diffing: compare two analysis reports finding-by-finding.
+
+``repro lint --diff BASE`` compares the findings of two models (or
+compiled artifacts carrying embedded certificates) without simulating
+either: a finding present only in the current report is **new**, one
+present only in the base is **resolved**, and matching findings are
+**unchanged**.  Identity is the finding's full canonical JSON form —
+rule, severity, message, prefix, ASNs, routers, clauses — so a finding
+that merely moved in the report is unchanged, while one whose
+participating clauses changed shows up as resolved + new.
+
+Reports are multisets: the same finding occurring twice on one side and
+once on the other yields one unchanged and one new/resolved entry.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+
+
+def _identity(finding: Finding) -> str:
+    """Canonical JSON identity of one finding."""
+    return json.dumps(finding.to_dict(), sort_keys=True)
+
+
+@dataclass
+class ReportDiff:
+    """The outcome of diffing a base report against a current one."""
+
+    new: list[Finding] = field(default_factory=list)
+    resolved: list[Finding] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero iff the diff introduces error-level findings."""
+        return 1 if any(f.severity is Severity.ERROR for f in self.new) else 0
+
+    def counts(self) -> dict[str, int]:
+        """Entry counts per diff bucket."""
+        return {
+            "new": len(self.new),
+            "resolved": len(self.resolved),
+            "unchanged": self.unchanged,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable diff."""
+        return {
+            "counts": self.counts(),
+            "new": [f.to_dict() for f in self.new],
+            "resolved": [f.to_dict() for f in self.resolved],
+            "exit_code": self.exit_code,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The diff as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, max_findings: int | None = None) -> str:
+        """Multi-line text diff: new findings first, then resolved."""
+        lines: list[str] = []
+        for label, findings in (("+", self.new), ("-", self.resolved)):
+            ordered = sorted(
+                findings,
+                key=lambda f: (-int(f.severity), f.rule, str(f.prefix)),
+            )
+            shown = ordered if max_findings is None else ordered[:max_findings]
+            lines.extend(f"{label} {finding.render()}" for finding in shown)
+            if max_findings is not None and len(ordered) > max_findings:
+                lines.append(
+                    f"... {len(ordered) - max_findings} more "
+                    f"{'new' if label == '+' else 'resolved'} findings omitted"
+                )
+        counts = self.counts()
+        lines.append(
+            f"diff: {counts['new']} new, {counts['resolved']} resolved, "
+            f"{counts['unchanged']} unchanged"
+        )
+        return "\n".join(lines)
+
+
+def diff_reports(base: AnalysisReport, current: AnalysisReport) -> ReportDiff:
+    """Diff two reports into new / resolved / unchanged findings."""
+    base_counts = Counter(_identity(f) for f in base.findings)
+    diff = ReportDiff()
+    remaining = Counter(base_counts)
+    for finding in sorted(
+        current.findings,
+        key=lambda f: (-int(f.severity), f.rule, str(f.prefix), f.message),
+    ):
+        identity = _identity(finding)
+        if remaining.get(identity, 0) > 0:
+            remaining[identity] -= 1
+            diff.unchanged += 1
+        else:
+            diff.new.append(finding)
+    matched = {
+        identity: base_counts[identity] - remaining[identity]
+        for identity in base_counts
+    }
+    consumed: Counter[str] = Counter()
+    for finding in sorted(
+        base.findings,
+        key=lambda f: (-int(f.severity), f.rule, str(f.prefix), f.message),
+    ):
+        identity = _identity(finding)
+        if consumed[identity] < matched.get(identity, 0):
+            consumed[identity] += 1
+            continue
+        diff.resolved.append(finding)
+    return diff

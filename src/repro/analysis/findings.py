@@ -30,7 +30,12 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One statically-detected defect in the model."""
+    """One statically-detected defect in the model.
+
+    ``omitted_count`` records how many participating items (clauses, ASNs)
+    the finding dropped to stay readable; zero means the structured
+    context is complete.
+    """
 
     rule: str
     severity: Severity
@@ -39,8 +44,9 @@ class Finding:
     asns: tuple[int, ...] = ()
     routers: tuple[int, ...] = ()
     clauses: tuple[str, ...] = ()
+    omitted_count: int = 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-serialisable view."""
         return {
             "rule": self.rule,
@@ -50,12 +56,41 @@ class Finding:
             "asns": list(self.asns),
             "routers": [f"{r:#010x}" for r in self.routers],
             "clauses": list(self.clauses),
+            "omitted_count": self.omitted_count,
         }
+
+    @classmethod
+    def from_dict(cls, document: dict[str, object]) -> "Finding":
+        """Invert :meth:`to_dict` (used by persisted certificate stores)."""
+        severity_name = str(document["severity"]).upper()
+        prefix_text = document.get("prefix")
+        routers = document.get("routers") or []
+        if not isinstance(routers, list):
+            raise ValueError("finding routers must be a list")
+        asns = document.get("asns") or []
+        if not isinstance(asns, list):
+            raise ValueError("finding asns must be a list")
+        clauses = document.get("clauses") or []
+        if not isinstance(clauses, list):
+            raise ValueError("finding clauses must be a list")
+        return cls(
+            rule=str(document["rule"]),
+            severity=Severity[severity_name],
+            message=str(document["message"]),
+            prefix=Prefix(str(prefix_text)) if prefix_text is not None else None,
+            asns=tuple(int(a) for a in asns),
+            routers=tuple(int(str(r), 16) for r in routers),
+            clauses=tuple(str(c) for c in clauses),
+            omitted_count=int(str(document.get("omitted_count", 0))),
+        )
 
     def render(self) -> str:
         """One-line text form for CLI output."""
         scope = f" [{self.prefix}]" if self.prefix is not None else ""
-        return f"{str(self.severity):<7} {self.rule}{scope}: {self.message}"
+        line = f"{str(self.severity):<7} {self.rule}{scope}: {self.message}"
+        if self.omitted_count:
+            line += f" (+{self.omitted_count} more not shown)"
+        return line
 
 
 @dataclass
@@ -120,7 +155,7 @@ class AnalysisReport:
         """Process exit code for ``repro lint``: nonzero iff errors exist."""
         return 1 if self.errors else 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-serialisable report."""
         return {
             "passes": list(self.passes),

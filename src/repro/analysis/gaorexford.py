@@ -1,0 +1,119 @@
+"""Static Gao-Rexford compliance: prove valley-free export behaviour.
+
+Gao & Rexford's stability conditions ("Inferring Internet AS
+Relationships Based on BGP Routing Policies", PAPERS.md) require that an
+AS never exports routes learned from a peer or a provider towards another
+peer or provider — otherwise it offers free transit and the route takes a
+"valley".  :mod:`repro.relationships.policies` realises that contract
+with community tags (``TAG_FROM_PEER`` / ``TAG_FROM_PROVIDER``) set on
+import and matching deny clauses on export.
+
+This pass checks the contract *statically*, directly against the
+:class:`RelationshipMap` from ingested CAIDA data and the installed
+route-maps — no simulation: for every eBGP session whose receiver is a
+peer or provider of the announcer, the export map must discard routes
+carrying either tag before any clause could permit them.  The check is
+deliberately conservative — it certifies compliance only when the first
+clause that *decides* a tagged route's fate is a deny (or the map denies
+by default); a permissive first-match or a missing map is reported as a
+violation.
+
+Findings carry no prefix (the property is per-session, not per-prefix),
+so in the certificate store they live under the model-wide certificate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.topology_lint import provider_cycle_findings
+from repro.bgp.network import Network
+from repro.bgp.policy import Action, Match, RouteMap
+from repro.bgp.session import Session
+from repro.relationships.policies import TAG_FROM_PEER, TAG_FROM_PROVIDER
+from repro.relationships.types import Relationship, RelationshipMap
+
+RULE_VALLEY_EXPORT = "gao-valley-export"
+
+_TAG_NAMES = {
+    TAG_FROM_PEER: "peer-learned",
+    TAG_FROM_PROVIDER: "provider-learned",
+}
+
+_RESTRICTED = (Relationship.PEER, Relationship.PROVIDER)
+"""Receiver relationships (from the announcer's view) that forbid
+re-exporting peer/provider routes.  Siblings exchange all routes and
+unknown edges carry no provable obligation, so neither is flagged."""
+
+
+def _exports_denied(route_map: RouteMap | None, community: int) -> bool:
+    """True when every route carrying ``community`` is provably denied.
+
+    Walks the map in first-match order with a probe matching exactly the
+    tagged routes; the first clause whose match subsumes the probe decides
+    all of them.  Clauses that could match only *some* tagged routes are
+    skipped — sound for certification (we never certify a leaky map) at
+    the cost of flagging exotic hand-written maps that are valley-free in
+    ways this static check cannot prove.
+    """
+    if route_map is None:
+        return False
+    probe = Match(community=community)
+    for _position, clause in route_map.entries():
+        if clause.match.subsumes(probe):
+            return clause.action is Action.DENY
+    return route_map.default_action is Action.DENY
+
+
+def _session_violation(
+    session: Session, relationship: Relationship
+) -> Finding | None:
+    """The valley-export finding for one restricted session, if any."""
+    leaking = [
+        name
+        for community, name in sorted(_TAG_NAMES.items())
+        if not _exports_denied(session.export_map, community)
+    ]
+    if not leaking:
+        return None
+    clauses = tuple(
+        f"missing/ineffective export deny for {name} routes "
+        f"(community {community:#x})"
+        for community, name in sorted(_TAG_NAMES.items())
+        if _TAG_NAMES[community] in leaking
+    )
+    return Finding(
+        rule=RULE_VALLEY_EXPORT,
+        severity=Severity.ERROR,
+        message=(
+            f"AS{session.src.asn} exports {' and '.join(leaking)} routes "
+            f"towards its {relationship.name.lower()} AS{session.dst.asn}; "
+            "valley-free (Gao-Rexford) export cannot be certified for "
+            "this session"
+        ),
+        asns=tuple(sorted({session.src.asn, session.dst.asn})),
+        routers=(session.src.router_id, session.dst.router_id),
+        clauses=clauses,
+    )
+
+
+def analyze_gao_rexford(
+    network: Network, relationships: RelationshipMap
+) -> list[Finding]:
+    """Run the compliance pass; deterministic session-id order.
+
+    Returns provider-customer hierarchy-cycle errors (a precondition of
+    any valley-free argument) followed by per-session valley-export
+    violations.
+    """
+    findings: list[Finding] = list(provider_cycle_findings(relationships))
+    for session_id in sorted(network.sessions):
+        session = network.sessions[session_id]
+        if not session.is_ebgp:
+            continue
+        relationship = relationships.get(session.src.asn, session.dst.asn)
+        if relationship not in _RESTRICTED:
+            continue
+        finding = _session_violation(session, relationship)
+        if finding is not None:
+            findings.append(finding)
+    return findings

@@ -29,6 +29,8 @@ per-prefix clauses even though it never appears in their index bucket.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.analysis.findings import Finding, Severity
 from repro.bgp.network import Network
 from repro.bgp.policy import Action, Clause, RouteMap
@@ -81,7 +83,9 @@ def _ranking(clause: Clause) -> tuple[int | None, int | None]:
     return (clause.set_local_pref, clause.set_med)
 
 
-def _session_maps(network: Network):
+def _session_maps(
+    network: Network,
+) -> Iterator[tuple[Session, str, RouteMap]]:
     """Yield (session, direction, route_map) for every installed map."""
     for session in network.sessions.values():
         if session.import_map is not None:
@@ -98,7 +102,7 @@ def analyze_policies(
     """Run all policy-lint rules; dataset-dependent rules need ``dataset``."""
     findings: list[Finding] = []
     for session, direction, route_map in _session_maps(network):
-        findings.extend(_lint_map(session, direction, route_map))
+        findings.extend(lint_map(session, direction, route_map))
     if dataset is not None:
         if prefix_by_origin is None:
             prefix_by_origin = _derive_origin_prefixes(network)
@@ -109,10 +113,15 @@ def analyze_policies(
     return findings
 
 
-def _lint_map(
+def lint_map(
     session: Session, direction: str, route_map: RouteMap
 ) -> list[Finding]:
-    """Per-map rules: unsatisfiable, shadowed, contradictory clauses."""
+    """Per-map rules: unsatisfiable, shadowed, contradictory clauses.
+
+    Public because the certificate store re-runs it per map during
+    incremental re-certification; findings come out in map-position order,
+    which is deterministic for a given map state.
+    """
     findings: list[Finding] = []
     label = _session_label(session, direction)
     routers = (session.src.router_id, session.dst.router_id)
@@ -295,6 +304,7 @@ def _blocking_filters(
                     ),
                     routers=(router.router_id,),
                     clauses=tuple(clauses[:_CLAUSES_PER_FINDING]),
+                    omitted_count=max(0, len(clauses) - _CLAUSES_PER_FINDING),
                 )
             )
     return findings

@@ -253,117 +253,160 @@ def _cyclic_components(graph: dict[int, set[int]]) -> list[list[int]]:
     ]
 
 
+def edge_sort_key(edge: PreferenceEdge) -> tuple[int, int, str, str, str]:
+    """Canonical edge ordering shared by the full and incremental passes.
+
+    Findings name at most ``_CLAUSES_PER_FINDING`` participating clauses,
+    so the *order* in which edges are considered is part of the output;
+    sorting here makes that order a function of the edge set alone, not of
+    router-iteration order — the invariant the certificate store's
+    bit-for-bit equality gate relies on.
+    """
+    return (
+        edge.router_id,
+        edge.neighbor_router_id,
+        str(edge.prefix) if edge.prefix is not None else "",
+        edge.kind,
+        edge.clause,
+    )
+
+
+def group_safety_edges(
+    edges: list[PreferenceEdge],
+) -> tuple[
+    list[PreferenceEdge],
+    dict[Prefix, list[PreferenceEdge]],
+    dict[Prefix, list[PreferenceEdge]],
+]:
+    """Split edges into (global local-pref, per-prefix local-pref, per-prefix MED)."""
+    global_lp: list[PreferenceEdge] = []
+    lp_by_prefix: dict[Prefix, list[PreferenceEdge]] = {}
+    med_by_prefix: dict[Prefix, list[PreferenceEdge]] = {}
+    for edge in edges:
+        if edge.kind == "local-pref":
+            if edge.prefix is None:
+                global_lp.append(edge)
+            else:
+                lp_by_prefix.setdefault(edge.prefix, []).append(edge)
+        elif edge.prefix is not None:
+            med_by_prefix.setdefault(edge.prefix, []).append(edge)
+    return global_lp, lp_by_prefix, med_by_prefix
+
+
+def local_pref_findings_for_prefix(
+    prefix: Prefix, graph_edges: list[PreferenceEdge]
+) -> list[Finding]:
+    """Cycle findings over one prefix's AS-granularity local-pref digraph.
+
+    ``graph_edges`` must contain the prefix's own local-pref edges *plus*
+    every prefix-agnostic (``prefix is None``) local-pref edge, since those
+    participate in every prefix's graph.
+    """
+    graph_edges = sorted(graph_edges, key=edge_sort_key)
+    graph: dict[int, set[int]] = {}
+    for edge in graph_edges:
+        graph.setdefault(edge.asn, set()).add(edge.neighbor_asn)
+        graph.setdefault(edge.neighbor_asn, set())
+    findings: list[Finding] = []
+    for component in _cyclic_components(graph):
+        members = set(component)
+        involved = [
+            e
+            for e in graph_edges
+            if e.asn in members and e.neighbor_asn in members
+        ]
+        severity = Severity.ERROR if len(component) >= 3 else Severity.WARNING
+        rule = (
+            RULE_DISPUTE_WHEEL
+            if len(component) >= 3
+            else RULE_MUTUAL_PREFERENCE
+        )
+        noun = (
+            "potential dispute wheel"
+            if len(component) >= 3
+            else "mutual local-pref preference (DISAGREE gadget)"
+        )
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                message=(
+                    f"{noun}: local-pref rankings of ASes "
+                    f"{' -> '.join(f'AS{a}' for a in component)} form a cycle; "
+                    "BGP may not converge for this prefix"
+                ),
+                prefix=prefix,
+                asns=tuple(component),
+                routers=tuple(sorted({e.router_id for e in involved})),
+                clauses=tuple(
+                    e.clause for e in involved[:_CLAUSES_PER_FINDING]
+                ),
+                omitted_count=max(0, len(involved) - _CLAUSES_PER_FINDING),
+            )
+        )
+    return findings
+
+
+def med_findings_for_prefix(
+    prefix: Prefix, edges: list[PreferenceEdge]
+) -> list[Finding]:
+    """Cycle findings over one prefix's quasi-router MED digraph."""
+    edges = sorted(edges, key=edge_sort_key)
+    graph: dict[int, set[int]] = {}
+    for edge in edges:
+        graph.setdefault(edge.router_id, set()).add(edge.neighbor_router_id)
+        graph.setdefault(edge.neighbor_router_id, set())
+    findings: list[Finding] = []
+    for component in _cyclic_components(graph):
+        members = set(component)
+        involved = [
+            e
+            for e in edges
+            if e.router_id in members and e.neighbor_router_id in members
+        ]
+        findings.append(
+            Finding(
+                rule=RULE_MED_CYCLE,
+                severity=Severity.WARNING,
+                message=(
+                    "MED rankings of "
+                    f"{len(component)} quasi-routers form a preference "
+                    "cycle; convergence relies on tie-breaking order"
+                ),
+                prefix=prefix,
+                asns=tuple(sorted({e.asn for e in involved})),
+                routers=tuple(component),
+                clauses=tuple(
+                    e.clause for e in involved[:_CLAUSES_PER_FINDING]
+                ),
+                omitted_count=max(0, len(involved) - _CLAUSES_PER_FINDING),
+            )
+        )
+    return findings
+
+
 def analyze_safety(
     network: Network, prefixes: list[Prefix] | None = None
 ) -> list[Finding]:
     """Run the dispute-digraph pass; one finding per preference cycle."""
     edges = collect_preference_edges(network)
     scoped = prefixes if prefixes is not None else network.prefixes()
-    findings: list[Finding] = []
-    findings.extend(_local_pref_findings(edges, scoped))
-    findings.extend(_med_findings(edges))
-    return findings
-
-
-def _local_pref_findings(
-    edges: list[PreferenceEdge], scoped: list[Prefix]
-) -> list[Finding]:
-    """Cycle findings over the AS-granularity local-pref digraph."""
-    global_edges = [e for e in edges if e.kind == "local-pref" and e.prefix is None]
-    per_prefix: dict[Prefix, list[PreferenceEdge]] = {}
-    for edge in edges:
-        if edge.kind == "local-pref" and edge.prefix is not None:
-            per_prefix.setdefault(edge.prefix, []).append(edge)
+    global_lp, lp_by_prefix, med_by_prefix = group_safety_edges(edges)
     targets: list[Prefix]
-    if global_edges:
+    if global_lp:
         # Prefix-agnostic preferences participate in every prefix's graph.
-        targets = sorted(set(scoped) | set(per_prefix))
+        targets = sorted(set(scoped) | set(lp_by_prefix))
     else:
-        targets = sorted(per_prefix)
-
+        targets = sorted(lp_by_prefix)
     findings: list[Finding] = []
     for prefix in targets:
-        graph_edges = per_prefix.get(prefix, []) + global_edges
-        graph: dict[int, set[int]] = {}
-        for edge in graph_edges:
-            graph.setdefault(edge.asn, set()).add(edge.neighbor_asn)
-            graph.setdefault(edge.neighbor_asn, set())
-        for component in _cyclic_components(graph):
-            members = set(component)
-            involved = [
-                e
-                for e in graph_edges
-                if e.asn in members and e.neighbor_asn in members
-            ]
-            severity = (
-                Severity.ERROR if len(component) >= 3 else Severity.WARNING
+        findings.extend(
+            local_pref_findings_for_prefix(
+                prefix, lp_by_prefix.get(prefix, []) + global_lp
             )
-            rule = (
-                RULE_DISPUTE_WHEEL
-                if len(component) >= 3
-                else RULE_MUTUAL_PREFERENCE
-            )
-            noun = (
-                "potential dispute wheel"
-                if len(component) >= 3
-                else "mutual local-pref preference (DISAGREE gadget)"
-            )
-            findings.append(
-                Finding(
-                    rule=rule,
-                    severity=severity,
-                    message=(
-                        f"{noun}: local-pref rankings of ASes "
-                        f"{' -> '.join(f'AS{a}' for a in component)} form a cycle; "
-                        "BGP may not converge for this prefix"
-                    ),
-                    prefix=prefix,
-                    asns=tuple(component),
-                    routers=tuple(sorted({e.router_id for e in involved})),
-                    clauses=tuple(
-                        e.clause for e in involved[:_CLAUSES_PER_FINDING]
-                    ),
-                )
-            )
-    return findings
-
-
-def _med_findings(edges: list[PreferenceEdge]) -> list[Finding]:
-    """Cycle findings over the quasi-router-granularity MED digraph."""
-    per_prefix: dict[Prefix, list[PreferenceEdge]] = {}
-    for edge in edges:
-        if edge.kind == "med" and edge.prefix is not None:
-            per_prefix.setdefault(edge.prefix, []).append(edge)
-    findings: list[Finding] = []
-    for prefix in sorted(per_prefix):
-        graph: dict[int, set[int]] = {}
-        for edge in per_prefix[prefix]:
-            graph.setdefault(edge.router_id, set()).add(edge.neighbor_router_id)
-            graph.setdefault(edge.neighbor_router_id, set())
-        for component in _cyclic_components(graph):
-            members = set(component)
-            involved = [
-                e
-                for e in per_prefix[prefix]
-                if e.router_id in members and e.neighbor_router_id in members
-            ]
-            findings.append(
-                Finding(
-                    rule=RULE_MED_CYCLE,
-                    severity=Severity.WARNING,
-                    message=(
-                        "MED rankings of "
-                        f"{len(component)} quasi-routers form a preference "
-                        "cycle; convergence relies on tie-breaking order"
-                    ),
-                    prefix=prefix,
-                    asns=tuple(sorted({e.asn for e in involved})),
-                    routers=tuple(component),
-                    clauses=tuple(
-                        e.clause for e in involved[:_CLAUSES_PER_FINDING]
-                    ),
-                )
-            )
+        )
+    for prefix in sorted(med_by_prefix):
+        findings.extend(med_findings_for_prefix(prefix, med_by_prefix[prefix]))
     return findings
 
 

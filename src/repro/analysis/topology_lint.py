@@ -1,6 +1,6 @@
 """Topology lint: structural model defects detectable without simulation.
 
-Three rules over the quasi-router topology:
+Four rules over the quasi-router topology:
 
 * ``topo-isolated-router`` — a quasi-router with no sessions at all; it
   can neither learn nor propagate routes, so it is dead weight (typically
@@ -11,27 +11,35 @@ Three rules over the quasi-router topology:
   relevant to the paper's quasi-router-count model-size metric (Fig. 8);
 * ``topo-unreachable-as`` — an AS with no AS-level path to any
   observation point; no route it originates can ever be observed, so the
-  training data can neither constrain nor validate it.
+  training data can neither constrain nor validate it;
+* ``topo-provider-cycle`` — ASes forming a cycle in the provider-customer
+  hierarchy of an ingested :class:`RelationshipMap`.  Gao-Rexford routing
+  assumes that hierarchy is a DAG; a cycle (which real CAIDA as-rel
+  snapshots occasionally contain) makes valley-free stability arguments
+  inapplicable to every AS on it.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Any
 
 from repro.analysis.findings import Finding, Severity
 from repro.bgp.network import Network
 from repro.bgp.policy import Clause, RouteMap
 from repro.bgp.router import Router
+from repro.relationships.types import Relationship, RelationshipMap
 
 RULE_ISOLATED = "topo-isolated-router"
 RULE_REDUNDANT = "topo-redundant-quasi-router"
 RULE_UNREACHABLE = "topo-unreachable-as"
+RULE_PROVIDER_CYCLE = "topo-provider-cycle"
 
 _ASNS_PER_FINDING = 25
 """At most this many unreachable ASes are named in one finding."""
 
 
-def _clause_signature(clause: Clause) -> tuple:
+def _clause_signature(clause: Clause) -> tuple[Any, ...]:
     """Hashable identity of one clause's behaviour."""
     return (
         clause.match,
@@ -45,7 +53,7 @@ def _clause_signature(clause: Clause) -> tuple:
     )
 
 
-def _map_signature(route_map: RouteMap | None) -> tuple:
+def _map_signature(route_map: RouteMap | None) -> tuple[Any, ...]:
     """Hashable identity of a route-map (clause order matters)."""
     if route_map is None or not route_map:
         return ()
@@ -55,7 +63,7 @@ def _map_signature(route_map: RouteMap | None) -> tuple:
     )
 
 
-def _router_signature(router: Router) -> tuple:
+def _router_signature(router: Router) -> tuple[Any, ...]:
     """Hashable identity of a quasi-router's wiring, policies and origins."""
     inbound = frozenset(
         (s.src.router_id, _map_signature(s.import_map), _map_signature(s.export_map))
@@ -69,14 +77,73 @@ def _router_signature(router: Router) -> tuple:
 
 
 def analyze_topology(
-    network: Network, observer_asns: set[int] | None = None
+    network: Network,
+    observer_asns: set[int] | None = None,
+    relationships: RelationshipMap | None = None,
 ) -> list[Finding]:
-    """Run all topology-lint rules; reachability needs ``observer_asns``."""
+    """Run all topology-lint rules.
+
+    Reachability needs ``observer_asns``; the provider-cycle rule needs
+    the ingested ``relationships`` map.
+    """
     findings: list[Finding] = []
     findings.extend(_isolated_routers(network))
     findings.extend(_redundant_quasi_routers(network))
     if observer_asns:
         findings.extend(_unreachable_ases(network, observer_asns))
+    if relationships is not None:
+        findings.extend(provider_cycle_findings(relationships))
+    return findings
+
+
+def provider_customer_cycles(
+    relationships: RelationshipMap,
+) -> list[list[int]]:
+    """Cycles in the customer -> provider digraph, each as a sorted ASN list.
+
+    An edge ``c -> p`` means ``c`` buys transit from ``p``.  Gao-Rexford
+    stability proofs require this digraph to be acyclic; any strongly
+    connected component of two or more ASes is a hierarchy cycle.
+    """
+    from repro.analysis.safety import strongly_connected_components
+
+    graph: dict[int, set[int]] = {}
+    for asn_a, asn_b, relationship in relationships.edges():
+        if relationship is Relationship.CUSTOMER:
+            customer, provider = asn_b, asn_a
+        elif relationship is Relationship.PROVIDER:
+            customer, provider = asn_a, asn_b
+        else:
+            continue
+        graph.setdefault(customer, set()).add(provider)
+        graph.setdefault(provider, set())
+    return [
+        sorted(component)
+        for component in strongly_connected_components(graph)
+        if len(component) >= 2
+    ]
+
+
+def provider_cycle_findings(relationships: RelationshipMap) -> list[Finding]:
+    """One error finding per provider-customer hierarchy cycle."""
+    findings: list[Finding] = []
+    for cycle in sorted(provider_customer_cycles(relationships)):
+        shown = ", ".join(f"AS{asn}" for asn in cycle[:_ASNS_PER_FINDING])
+        suffix = "" if len(cycle) <= _ASNS_PER_FINDING else ", ..."
+        findings.append(
+            Finding(
+                rule=RULE_PROVIDER_CYCLE,
+                severity=Severity.ERROR,
+                message=(
+                    f"provider-customer cycle among {len(cycle)} ASes: "
+                    f"{shown}{suffix}; each buys transit that ultimately "
+                    "depends on itself, so Gao-Rexford valley-free "
+                    "stability does not hold for them"
+                ),
+                asns=tuple(cycle[:_ASNS_PER_FINDING]),
+                omitted_count=max(0, len(cycle) - _ASNS_PER_FINDING),
+            )
+        )
     return findings
 
 
@@ -107,7 +174,7 @@ def _redundant_quasi_routers(network: Network) -> list[Finding]:
     for node in network.ases.values():
         if len(node.routers) < 2:
             continue
-        groups: dict[tuple, list[Router]] = defaultdict(list)
+        groups: dict[tuple[Any, ...], list[Router]] = defaultdict(list)
         for router in node.routers:
             groups[_router_signature(router)].append(router)
         for routers in groups.values():
@@ -161,5 +228,6 @@ def _unreachable_ases(
                 "never be observed or validated"
             ),
             asns=tuple(unreachable[:_ASNS_PER_FINDING]),
+            omitted_count=max(0, len(unreachable) - _ASNS_PER_FINDING),
         )
     ]

@@ -18,9 +18,13 @@ Subcommands mirror the paper's workflow:
 * ``repro refine`` — build and refine an AS-routing model from a dump,
   evaluate on a held-out split, and optionally save the model as a
   C-BGP-style config.
-* ``repro lint`` — static analysis of a saved model config, no
-  simulation: dispute-wheel safety, route-map lint, topology lint.
-  Exits 1 if any error-severity finding is reported, 0 otherwise.
+* ``repro lint`` — static analysis of a saved model config (or of the
+  certificates embedded in a compiled artifact), no simulation:
+  dispute-wheel safety, route-map lint, topology lint, and — with
+  ``--relationships`` — Gao-Rexford valley-free export compliance.
+  ``--diff BASE`` statically diffs two models/artifacts into new /
+  resolved / unchanged findings.  Exits 1 if any error-severity finding
+  (for ``--diff``: any *new* error) is reported, 0 otherwise.
 * ``repro whatif`` — load a saved model and predict the impact of
   removing an AS adjacency.
 * ``repro chaos`` — run the pipeline over a deterministically
@@ -225,13 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint", help="static safety/policy/topology analysis of a model"
     )
-    lint.add_argument("model", help="model config written by 'repro refine --out'")
+    lint.add_argument("model", help="model config written by 'repro refine "
+                                    "--out', or a compiled artifact with "
+                                    "embedded certificates")
     lint.add_argument("--dump", help="training dump enabling the dataset-"
                                      "dependent rules (blocking filters, "
                                      "stale refinement clauses, reachability)")
     lint.add_argument("--passes", nargs="*", default=None,
                       metavar="PASS", help="subset of passes to run "
-                                           "(safety policy topology)")
+                                           "(safety policy topology gao)")
+    lint.add_argument("--relationships", metavar="AS_REL",
+                      help="CAIDA as-rel file enabling the Gao-Rexford "
+                           "valley-free export pass")
+    lint.add_argument("--diff", metavar="BASE",
+                      help="statically diff against BASE (a model config or "
+                           "compiled artifact) and report new / resolved / "
+                           "unchanged findings; exits 1 only on new errors")
     lint.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the full report as JSON instead of text")
     lint.add_argument("--max-findings", type=int, default=50,
@@ -320,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_.add_argument("--retry-attempts", type=int, default=3,
                           help="budget-escalation attempts before a "
                                "diverging prefix is quarantined")
+    compile_.add_argument("--relationships", metavar="AS_REL",
+                          help="CAIDA as-rel file; enables the Gao-Rexford "
+                               "pass in the embedded safety certificates")
     _add_parallel_arguments(compile_)
     compile_.set_defaults(handler=cmd_compile_artifact)
 
@@ -785,17 +801,69 @@ def _refine_interrupted(args, health: RunHealth, refiner, shutdown) -> int:
     return EXIT_INTERRUPTED
 
 
-def cmd_lint(args) -> int:
-    """Handle ``repro lint``."""
-    from repro.analysis import ALL_PASSES, analyze_model
+def _is_artifact(path: str) -> bool:
+    """True when ``path`` starts with the prediction-artifact magic."""
+    from repro.serve.artifact import MAGIC
 
     try:
-        with open(args.model, "r", encoding="ascii") as handle:
-            network = parse_script(handle)
-        model = ASRoutingModel.from_network(network)
-    except (OSError, ParseError, TopologyError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return EXIT_DATA
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def _lint_report(path, dataset, passes, relationships, certified):
+    """One side of a lint run: a report for a model config or artifact.
+
+    An artifact contributes the certified findings frozen at compile
+    time; a model config is analyzed live.  ``certified`` switches the
+    live side to the certificate engine's safety/policy/gao passes so a
+    ``--diff`` with an artifact on the other side compares
+    like-with-like (the dataset- and observer-dependent rules cannot be
+    reconstructed from an artifact).
+    """
+    if _is_artifact(path):
+        from repro.analysis.certify import CertificateStore
+        from repro.errors import CertificateError
+        from repro.serve import PredictionArtifact
+
+        artifact = PredictionArtifact.load(path)
+        if not artifact.certificates:
+            raise CertificateError(
+                f"artifact {path} carries no safety certificates; recompile "
+                "it with this build of 'repro compile-artifact'"
+            )
+        return CertificateStore.from_dict(artifact.certificates).report()
+    with open(path, "r", encoding="ascii") as handle:
+        network = parse_script(handle)
+    model = ASRoutingModel.from_network(network)
+    if certified:
+        from repro.analysis import certify_network
+
+        return certify_network(
+            model.network, relationships=relationships
+        ).report()
+    from repro.analysis import analyze_model
+
+    return analyze_model(
+        model, dataset=dataset, passes=passes, relationships=relationships
+    )
+
+
+def cmd_lint(args) -> int:
+    """Handle ``repro lint``."""
+    from repro.analysis import ALL_PASSES, diff_reports
+    from repro.errors import ArtifactError, CertificateError
+
+    relationships = None
+    if args.relationships:
+        from repro.data.caida import read_as_rel
+
+        try:
+            relationships = read_as_rel(args.relationships).relationships
+        except (OSError, DatasetError, ParseError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_DATA
     dataset = None
     if args.dump:
         try:
@@ -804,11 +872,32 @@ def cmd_lint(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             return EXIT_DATA
     passes = tuple(args.passes) if args.passes else ALL_PASSES
+    certified = _is_artifact(args.model) or (
+        args.diff is not None and _is_artifact(args.diff)
+    )
+    base = None
     try:
-        report = analyze_model(model, dataset=dataset, passes=passes)
+        report = _lint_report(
+            args.model, dataset, passes, relationships, certified
+        )
+        if args.diff is not None:
+            base = _lint_report(
+                args.diff, dataset, passes, relationships, certified
+            )
+    except (OSError, ParseError, TopologyError, ArtifactError,
+            CertificateError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if base is not None:
+        diff = diff_reports(base, report)
+        if args.as_json:
+            print(diff.to_json())
+        else:
+            print(diff.render(max_findings=args.max_findings))
+        return diff.exit_code
     if args.as_json:
         print(report.to_json())
     else:
@@ -989,6 +1078,15 @@ def cmd_compile_artifact(args) -> int:
     except (OSError, ParseError, TopologyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_DATA
+    relationships = None
+    if args.relationships:
+        from repro.data.caida import read_as_rel
+
+        try:
+            relationships = read_as_rel(args.relationships).relationships
+        except (OSError, DatasetError, ParseError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_DATA
     get_registry().reset()
     retry = RetryPolicy(max_attempts=max(1, args.retry_attempts))
     started = time.perf_counter()
@@ -999,6 +1097,7 @@ def cmd_compile_artifact(args) -> int:
             retry=retry,
             parallel=_parallel_config(args),
             meta=run_metadata(argv=getattr(args, "invocation", None)),
+            relationships=relationships,
         )
     except ModelError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1014,6 +1113,12 @@ def cmd_compile_artifact(args) -> int:
         f"compiled {len(artifact.origins)} origins x "
         f"{len(artifact.observers)} observers -> {report.pairs} pairs "
         f"with paths in {time.perf_counter() - started:.1f}s"
+    )
+    cert_fingerprint = str(artifact.certificates.get("fingerprint", ""))
+    print(
+        f"certified {len(artifact.certificates.get('certificates') or ())} "
+        f"certificate(s), {report.certified_findings} finding(s), "
+        f"store fingerprint {cert_fingerprint[:12] or '(none)'}"
     )
     if report.quarantined:
         print(

@@ -10,8 +10,38 @@ from __future__ import annotations
 
 from repro.bgp.network import Network
 from repro.core.model import ASRoutingModel
+from repro.relationships.types import RelationshipMap
 from repro.topology.dataset import PathDataset
 from repro.topology.graph import ASGraph
+
+
+def build_relationship_model(
+    graph: ASGraph, relationships: RelationshipMap
+) -> ASRoutingModel:
+    """Build the initial model straight from an ingested AS-rel graph.
+
+    Mirrors :func:`build_initial_model` — one quasi-router and one
+    canonical prefix per AS — but seeds peerings from a CAIDA-style
+    relationship graph instead of observed AS-paths, and installs the
+    Gao-Rexford import/export policies for every classified edge, so the
+    result is immediately certifiable against ``relationships`` (the
+    ``gao`` analysis pass and ``repro lint --relationships``).
+    """
+    from repro.relationships.policies import apply_relationship_policies
+
+    network = Network(name="as-relationship-model")
+    for asn in sorted(graph.ases()):
+        network.add_router(asn)
+    for a, b in sorted(graph.edges()):
+        router_a = network.as_routers(a)[0]
+        router_b = network.as_routers(b)[0]
+        network.connect(router_a, router_b)
+    apply_relationship_policies(network, relationships)
+    model = ASRoutingModel(network=network, graph=graph)
+    for asn in sorted(graph.ases()):
+        model.add_origin(asn)
+    network.validate()
+    return model
 
 
 def build_initial_model(

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.certify import CertificateStore
     from repro.parallel.supervisor import ParallelConfig
 
 from repro.bgp.policy import Action, Clause, Match
@@ -49,6 +50,7 @@ from repro.obs.trace import (
     get_tracer,
 )
 from repro.resilience.checkpoint import (
+    certificate_store_path,
     load_checkpoint,
     save_checkpoint,
     training_fingerprint,
@@ -174,6 +176,15 @@ class Refiner:
         self.supervision: dict | None = None
         self.gated_prefixes: list[Prefix] = []
         self._gate_applied = False
+        # With the lint gate on, safety is tracked through an incremental
+        # certificate store: policy installs/deletes invalidate only the
+        # touched prefixes' certificates, so per-iteration re-certification
+        # costs a few fingerprints instead of a full static pass.
+        self.certificates: "CertificateStore | None" = None
+        if config.lint_gate:
+            from repro.analysis.certify import CertificateStore
+
+            self.certificates = CertificateStore()
         self.targets: dict[int, list[tuple[int, ...]]] = {}
         for origin, paths in training.unique_paths_by_origin().items():
             if origin not in model.prefix_by_origin:
@@ -231,6 +242,7 @@ class Refiner:
                         [asdict(s) for s in restored],
                         fingerprint=training_fingerprint(self.targets),
                     )
+                    self._save_certificates(checkpoint_path)
                 raise
         result = RefinementResult(model=self.model, converged=False)
         result.iterations.extend(restored)
@@ -264,6 +276,7 @@ class Refiner:
                     [asdict(s) for s in result.iterations],
                     fingerprint=training_fingerprint(self.targets),
                 )
+                self._save_certificates(checkpoint_path)
             if converged:
                 result.converged = True
                 break
@@ -297,8 +310,43 @@ class Refiner:
                 "dataset (fingerprint mismatch)"
             )
         self.model = model
+        self._restore_certificates(path)
         iterations = [IterationStats(**fields) for fields in saved.iterations]
         return saved.iteration, saved.best_matched, saved.stale_iterations, iterations
+
+    def _save_certificates(self, checkpoint_path: Path) -> None:
+        """Persist the certificate store next to the checkpoint."""
+        if self.certificates is None:
+            return
+        self.certificates.save(certificate_store_path(checkpoint_path))
+
+    def _restore_certificates(self, checkpoint_path: Path) -> None:
+        """Reload the persisted certificate store alongside a checkpoint.
+
+        The lint gate may already have certified the pre-restore model, so
+        a missing or unreadable store must not be silently trusted: either
+        the saved store (fully dirty, fingerprints arbitrate on the next
+        ``certify``) replaces the in-memory one, or everything is
+        invalidated and the next certification starts from scratch.
+        """
+        if self.certificates is None:
+            return
+        from repro.analysis.certify import CertificateStore
+        from repro.errors import CertificateError
+
+        store_path = certificate_store_path(checkpoint_path)
+        if store_path.exists():
+            try:
+                self.certificates = CertificateStore.load(
+                    store_path, relationships=self.certificates.relationships
+                )
+                logger.info("restored certificate store from %s", store_path)
+                return
+            except CertificateError as error:
+                logger.warning(
+                    "ignoring unusable certificate store %s: %s", store_path, error
+                )
+        self.certificates.invalidate_all()
 
     def _apply_lint_gate(self) -> None:
         """Statically quarantine unsafe prefixes before any simulation.
@@ -313,22 +361,36 @@ class Refiner:
         if not self.config.lint_gate or self._gate_applied:
             return
         self._gate_applied = True
-        from repro.analysis.safety import unsafe_prefixes
+        if self.certificates is not None:
+            self.certificates.certify(self.model.network)
+            unsafe = self.certificates.unsafe_prefixes()
+        else:
+            from repro.analysis.safety import unsafe_prefixes
 
+            unsafe = unsafe_prefixes(self.model.network)
+        self._quarantine_unsafe(unsafe)
+
+    def _quarantine_unsafe(self, prefixes: list[Prefix]) -> list[int]:
+        """Gate statically-unsafe prefixes; returns the dropped origins."""
         tracer = get_tracer()
-        for prefix in unsafe_prefixes(self.model.network):
+        dropped: list[int] = []
+        for prefix in prefixes:
+            if prefix in self.gated_prefixes:
+                continue
             self.model.network.clear_prefix(prefix)
             self.gated_prefixes.append(prefix)
             self.outcomes.append(PrefixOutcome.gated(prefix))
             origin = self.model.origin_by_prefix.get(prefix)
-            if origin is not None:
+            if origin is not None and origin in self.targets:
                 self.targets.pop(origin, None)
+                dropped.append(origin)
             get_registry().counter("refine.lint_quarantined").inc()
             if tracer.enabled:
                 tracer.event(
                     EVENT_LINT_QUARANTINE, prefix=str(prefix), origin=origin
                 )
             logger.warning("lint gate quarantined %s (origin AS%s)", prefix, origin)
+        return dropped
 
     def _simulate_all(self) -> None:
         """Simulate every non-gated prefix, honouring retry and parallelism."""
@@ -412,6 +474,17 @@ class Refiner:
                     origin_changed |= changed
                 if origin_changed:
                     dirty.add(origin)
+            if self.certificates is not None and dirty:
+                # Incremental re-certification: only prefixes whose
+                # dependency set intersects this iteration's policy
+                # changes are re-fingerprinted.  A prefix the changes made
+                # statically unsafe is quarantined before any simulation
+                # budget is spent on it.
+                self.certificates.certify(self.model.network)
+                dropped = self._quarantine_unsafe(
+                    self.certificates.unsafe_prefixes()
+                )
+                dirty -= set(dropped)
             for origin in sorted(dirty):
                 self._simulate_origin(origin)
                 stats.prefixes_resimulated += 1
@@ -538,6 +611,10 @@ class Refiner:
                 source = min(learning, key=lambda router: router.router_id)
                 clone = self.model.network.duplicate_router(source)
                 stats.routers_added += 1
+                if self.certificates is not None:
+                    # The clone's sessions change its neighbours' MED
+                    # rankings too; invalidate_router dirties the peers.
+                    self.certificates.invalidate_router(clone)
                 tracer = get_tracer()
                 if tracer.enabled:
                     tracer.event(
@@ -639,6 +716,8 @@ class Refiner:
                 )
                 installed += 1
         stats.policies_installed += installed
+        if self.certificates is not None:
+            self.certificates.invalidate_policy(router.router_id, prefix)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -731,15 +810,19 @@ class Refiner:
         length = len(target)
         removed = 0
         for router in self.model.quasi_routers(asn):
+            removed_here = 0
             for session in router.sessions_in:
                 if session.src.asn != neighbor_asn or session.export_map is None:
                     continue
-                removed += session.export_map.remove_if(
+                removed_here += session.export_map.remove_if(
                     lambda clause: clause.tag == FILTER_TAG
                     and clause.match.prefix == prefix
                     and clause.match.path_len_lt is not None
                     and clause.match.path_len_lt > length
                 )
+            if removed_here and self.certificates is not None:
+                self.certificates.invalidate_policy(router.router_id, prefix)
+            removed += removed_here
         stats.filters_deleted += removed
         if removed:
             tracer = get_tracer()

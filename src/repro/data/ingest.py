@@ -122,7 +122,7 @@ def _reload_dataset(out_path: Path) -> PathDataset:
 class _Breaker:
     """Sliding-window malformed-burst circuit breaker."""
 
-    def __init__(self, window: int, threshold: float):
+    def __init__(self, window: int, threshold: float) -> None:
         self._flags: deque[int] = deque(maxlen=max(1, window))
         self._threshold = threshold
         self._damaged = 0

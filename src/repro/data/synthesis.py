@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.bgp.network import ASNode, Network
+from repro.bgp.session import Session
 from repro.bgp.policy import Action, Clause, Match
 from repro.errors import TopologyError
 from repro.net.prefix import Prefix, prefix_for_asn
@@ -339,7 +340,9 @@ def _connect_ases(
                     )
 
 
-def _install_standard_policies(session, rel_of_src_from_dst: Relationship) -> None:
+def _install_standard_policies(
+    session: Session, rel_of_src_from_dst: Relationship
+) -> None:
     """Ground-truth relationship policies for one directed session.
 
     ``rel_of_src_from_dst``: what the announcing router's AS is from the

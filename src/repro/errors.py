@@ -67,6 +67,15 @@ class ArtifactError(ReproError):
     """
 
 
+class CertificateError(ReproError):
+    """Raised when a persisted certificate store is unreadable or incompatible.
+
+    A corrupt or stale store is never silently ignored at the API level:
+    the caller decides whether to fall back to a from-scratch
+    certification (the refiner does) or to surface the failure.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a refinement checkpoint is missing, corrupt, or incompatible."""
 

@@ -113,6 +113,15 @@ def run_lint(
         result.metrics[f"seconds_x{factor}"] = elapsed
         result.metrics[f"findings_x{factor}"] = float(len(report.findings))
         result.metrics[f"routers_x{factor}"] = float(size["routers"])
+        incremental = _measure_incremental(internet.network)
+        for name, value in incremental.items():
+            result.metrics[f"{name}_x{factor}"] = value
+    # Headline numbers from the largest scale: a single policy install
+    # must re-certify only the touched prefix, not the whole model.
+    largest = factors[-1]
+    for name in ("full_ms", "incremental_ms", "invalidated_fraction",
+                 "incremental_equal"):
+        result.metrics[name] = result.metrics[f"{name}_x{largest}"]
     result.note(
         "all three passes (safety, policy, topology) over the ground-truth "
         "network; zero safety findings (the substrate is convergence-safe), "
@@ -120,4 +129,66 @@ def run_lint(
         "clauses the synthesis layer leaves shadowed behind the catch-all "
         "relationship clause"
     )
+    result.note(
+        "full_ms/incremental_ms: certificate-store re-certification after "
+        "one policy install, from scratch vs. dependency-tracked "
+        "(incremental_equal=1 asserts the two reports are bit-identical)"
+    )
     return result
+
+
+def _measure_incremental(network) -> dict[str, float]:
+    """Cost of re-certifying after one policy install, full vs. tracked.
+
+    Warms a :class:`~repro.analysis.certify.CertificateStore`, installs
+    one refine-style local-pref clause on the lowest-numbered eBGP
+    session, then times (a) the store's incremental re-certification and
+    (b) a from-scratch certification of the mutated network — and checks
+    the two produce bit-identical stores.
+    """
+    from repro.analysis.certify import CertificateStore
+    from repro.bgp.policy import Action, Clause, Match
+
+    store = CertificateStore()
+    store.certify(network)
+
+    # Install on a session that already carries an import map: creating
+    # a map where none existed changes the session's generic-clause
+    # signature and (correctly) invalidates the global certificate,
+    # which is not the steady-state refinement case being measured.
+    session = min(
+        (s for s in network.sessions.values() if s.import_map is not None),
+        key=lambda s: s.session_id,
+    )
+    prefix = sorted(network.prefixes())[0]
+    session.import_map.append(
+        Clause(Match(prefix=prefix), Action.PERMIT,
+               set_local_pref=123, tag="bench-incremental")
+    )
+    store.invalidate_policy(session.dst.router_id, prefix)
+
+    started = time.perf_counter()
+    incremental_report = store.certify(network)
+    incremental_ms = 1000.0 * (time.perf_counter() - started)
+
+    fresh = CertificateStore()
+    started = time.perf_counter()
+    full_report = fresh.certify(network)
+    full_ms = 1000.0 * (time.perf_counter() - started)
+
+    equal = (
+        store.store_fingerprint() == fresh.store_fingerprint()
+        and incremental_report.to_json() == full_report.to_json()
+    )
+    stats = store.last_stats
+    session.import_map.remove_if(
+        lambda clause: clause.tag == "bench-incremental"
+    )
+    return {
+        "full_ms": full_ms,
+        "incremental_ms": incremental_ms,
+        "invalidated_fraction": (
+            stats.invalidated_fraction if stats is not None else 1.0
+        ),
+        "incremental_equal": 1.0 if equal else 0.0,
+    }

@@ -49,6 +49,18 @@ def training_fingerprint(targets: dict[int, list[tuple[int, ...]]]) -> str:
     return digest.hexdigest()
 
 
+def certificate_store_path(checkpoint_path: str | Path) -> Path:
+    """The sibling file holding a checkpoint's safety-certificate store.
+
+    Kept separate from the checkpoint document so the store stays
+    optional: old checkpoints (and runs without ``--lint-gate``) resume
+    unchanged, and a missing or corrupt store only costs one full
+    re-certification, never the refinement state itself.
+    """
+    path = Path(checkpoint_path)
+    return path.with_name(path.name + ".certs")
+
+
 @dataclass
 class RefinerCheckpoint:
     """The persisted state of an in-progress refinement run."""

@@ -79,6 +79,13 @@ class PredictionArtifact:
     model_stats: dict = field(default_factory=dict)
     """Size summary of the source model (ases, routers, clauses...)."""
 
+    certificates: dict = field(default_factory=dict)
+    """The compile-time safety-certificate store
+    (:meth:`repro.analysis.certify.CertificateStore.to_dict`), embedded so
+    ``repro lint --diff`` can statically diff two artifacts' findings
+    without either source model.  Empty when compilation skipped
+    certification; readers must tolerate absence."""
+
     schema: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -134,7 +141,7 @@ class PredictionArtifact:
             paths.setdefault(str(origin), {})[str(observer)] = [
                 list(path) for path in path_set
             ]
-        return {
+        document = {
             "meta": self.meta,
             "model": self.model_stats,
             "observers": list(self.observers),
@@ -145,6 +152,9 @@ class PredictionArtifact:
             "paths": paths,
             "quarantined": sorted(self.quarantined),
         }
+        if self.certificates:
+            document["certificates"] = self.certificates
+        return document
 
     def save(self, path: str | Path) -> int:
         """Write the artifact file atomically; returns bytes written."""
@@ -160,6 +170,8 @@ class PredictionArtifact:
             "origins": len(self.origins),
             "observers": len(self.observers),
         }
+        if self.certificates:
+            header["certificates"] = _certificate_summary(self.certificates)
         blob = MAGIC + json.dumps(header, sort_keys=True).encode("ascii") \
             + b"\n" + payload
         target = Path(path)
@@ -253,7 +265,29 @@ class PredictionArtifact:
             quarantined=tuple(document.get("quarantined") or ()),
             meta=dict(document.get("meta") or {}),
             model_stats=dict(document.get("model") or {}),
+            certificates=dict(document.get("certificates") or {}),
         )
+
+
+def _certificate_summary(certificates: Mapping) -> dict:
+    """Header-line digest of an embedded certificate store.
+
+    Computed from the store's serialised form alone, so the artifact
+    layer never imports :mod:`repro.analysis` — the header stays
+    readable (``pairs``, ``findings``, store fingerprint) without
+    decompressing the payload.
+    """
+    entries = certificates.get("certificates") or ()
+    findings = sum(
+        len(entry.get("findings") or ())
+        for entry in entries
+        if isinstance(entry, Mapping)
+    )
+    return {
+        "count": len(entries),
+        "findings": findings,
+        "fingerprint": str(certificates.get("fingerprint", "")),
+    }
 
 
 def build_artifact(
@@ -263,6 +297,7 @@ def build_artifact(
     quarantined: Iterable[Prefix | str] = (),
     meta: dict | None = None,
     model_stats: dict | None = None,
+    certificates: dict | None = None,
 ) -> PredictionArtifact:
     """Normalise raw compiler output into a :class:`PredictionArtifact`.
 
@@ -282,4 +317,5 @@ def build_artifact(
         quarantined=tuple(sorted(str(p) for p in quarantined)),
         meta=dict(meta or {}),
         model_stats=dict(model_stats or {}),
+        certificates=dict(certificates or {}),
     )

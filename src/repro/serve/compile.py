@@ -18,12 +18,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.analysis.certify import certify_network
 from repro.core.model import ASRoutingModel
 from repro.core.predict import selected_paths
 from repro.errors import ModelError
 from repro.net.prefix import Prefix
 from repro.obs.meta import run_metadata
 from repro.obs.metrics import get_registry
+from repro.relationships.types import RelationshipMap
 from repro.resilience.retry import ResilienceStats, RetryPolicy
 from repro.serve.artifact import PredictionArtifact, build_artifact
 
@@ -40,6 +42,8 @@ class CompileReport:
     pairs: int = 0
     simulate_seconds: float = 0.0
     collect_seconds: float = 0.0
+    certify_seconds: float = 0.0
+    certified_findings: int = 0
     stats: ResilienceStats | None = None
 
     def to_dict(self) -> dict:
@@ -51,6 +55,8 @@ class CompileReport:
             "pairs": self.pairs,
             "simulate_seconds": round(self.simulate_seconds, 6),
             "collect_seconds": round(self.collect_seconds, 6),
+            "certify_seconds": round(self.certify_seconds, 6),
+            "certified_findings": self.certified_findings,
         }
 
 
@@ -60,6 +66,7 @@ def compile_artifact(
     retry: RetryPolicy | None = None,
     parallel=None,
     meta: dict | None = None,
+    relationships: RelationshipMap | None = None,
 ) -> tuple[PredictionArtifact, CompileReport]:
     """Simulate ``model`` once and freeze every answer into an artifact.
 
@@ -86,6 +93,18 @@ def compile_artifact(
         )
     registry = get_registry()
     report = CompileReport(prefixes=len(model.prefix_by_origin))
+
+    # Certify before simulating: the certificates describe the *static*
+    # model, so the findings frozen into the artifact are exactly what a
+    # later `repro lint` of the same model would report.
+    started = time.perf_counter()
+    store = certify_network(model.network, relationships=relationships)
+    certificates = store.to_dict()
+    report.certify_seconds = time.perf_counter() - started
+    report.certified_findings = len(store.report().findings)
+    registry.counter("serve.compile.certified_findings").inc(
+        report.certified_findings
+    )
 
     started = time.perf_counter()
     stats = model.simulate_all_resilient(
@@ -129,11 +148,14 @@ def compile_artifact(
         quarantined=quarantined,
         meta=meta if meta is not None else run_metadata(),
         model_stats=model.stats(),
+        certificates=certificates,
     )
     logger.info(
         "compiled artifact: %d origins x %d observers, %d pairs with paths, "
-        "%d quarantined, %.1fs simulate + %.1fs collect",
+        "%d quarantined, %d certified finding(s), "
+        "%.1fs simulate + %.1fs collect",
         len(artifact.origins), len(artifact.observers), report.pairs,
-        len(quarantined), report.simulate_seconds, report.collect_seconds,
+        len(quarantined), report.certified_findings,
+        report.simulate_seconds, report.collect_seconds,
     )
     return artifact, report
