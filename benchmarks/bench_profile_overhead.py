@@ -1,0 +1,27 @@
+"""PROF: phase-profiler overhead on the engine, emitting BENCH_profile.json.
+
+Quantifies the profiling tax: the NullProfiler default must stay within
+a few percent of an uninstrumented engine, full phase attribution should
+cost a bounded, reported factor, and the attributed phases must cover
+nearly all of the simulation's wall-clock (the coverage claim
+``repro profile`` makes is only as good as this number).
+"""
+
+from conftest import publish, run_once, write_results
+
+from repro.experiments import profiling
+
+
+def test_profile_overhead(benchmark, workload, workload_name):
+    result = run_once(benchmark, profiling.run_profile_overhead, workload)
+    publish(benchmark, result)
+    write_results("BENCH_profile.json", result, workload_name)
+    assert result.metrics["seconds_off"] > 0
+    # Profiling must not change what the engine computes.
+    assert result.metrics["messages"] > 0
+    # The five engine phases alone (no coarse workload wrapper) must own
+    # most of simulate()'s wall-clock; the remainder is per-prefix queue
+    # seeding and bookkeeping outside the message loop.  The >=90%
+    # acceptance bar applies to `repro profile refine`, whose coarse
+    # phases cover that glue.
+    assert result.metrics["coverage"] >= 0.75

@@ -156,7 +156,7 @@ class CertificateStore:
         self._med_by_key: dict[str, set[int]] = {}
         # Per-session map state: endpoint+generic signature, per-prefix keys.
         self._session_sig: dict[int, str] = {}
-        self._session_prefixes: dict[int, frozenset[str]] = {}
+        self._session_prefixes: dict[int, dict[str, str]] = {}
         self._sessions_by_key: dict[str, set[int]] = {}
         self._router_sessions: dict[int, set[int]] = {}
         self._rel_fingerprint: str | None = None
@@ -383,9 +383,9 @@ class CertificateStore:
     def _refresh_session(self, session: Session) -> tuple[set[str], bool]:
         """Re-scan one session's maps; returns (changed keys, sig changed)."""
         session_id = session.session_id
-        old_keys = self._session_prefixes.get(session_id, frozenset())
+        old_keys = self._session_prefixes.get(session_id, {})
         old_sig = self._session_sig.get(session_id)
-        keys: set[str] = set()
+        key_digests: dict[str, "hashlib._Hash"] = {}
         digest = hashlib.sha256()
         digest.update(
             f"session {session_id} {session.src.router_id}"
@@ -406,25 +406,39 @@ class CertificateStore:
                     digest.update(direction.encode())
                     digest.update(_clause_token(position, clause))
                 else:
-                    keys.add(self._key(clause.match.prefix))
+                    # Per-prefix clauses get a per-key digest: editing or
+                    # removing one while *another* clause for the same
+                    # prefix survives must still flag the key — a bare
+                    # key-set diff would miss the content change.
+                    key = self._key(clause.match.prefix)
+                    key_digest = key_digests.get(key)
+                    if key_digest is None:
+                        key_digest = key_digests[key] = hashlib.sha256()
+                    key_digest.update(direction.encode())
+                    key_digest.update(_clause_token(position, clause))
         new_sig = digest.hexdigest()
-        for key in old_keys - keys:
+        keys = {key: d.hexdigest() for key, d in key_digests.items()}
+        for key in old_keys.keys() - keys.keys():
             self._sessions_by_key.get(key, set()).discard(session_id)
-        for key in keys - old_keys:
+        for key in keys.keys() - old_keys.keys():
             self._sessions_by_key.setdefault(key, set()).add(session_id)
-        self._session_prefixes[session_id] = frozenset(keys)
+        self._session_prefixes[session_id] = keys
         self._session_sig[session_id] = new_sig
-        changed = set(old_keys ^ keys)
+        changed = {
+            key
+            for key in old_keys.keys() | keys.keys()
+            if old_keys.get(key) != keys.get(key)
+        }
         sig_changed = old_sig != new_sig
         if sig_changed:
             # Generic clauses shadow per-prefix ones: every key with a
             # clause in this session's maps may be affected.
-            changed |= keys | set(old_keys)
+            changed |= keys.keys() | old_keys.keys()
         return changed, sig_changed
 
     def _retire_session(self, session_id: int) -> set[str]:
         """Forget a session that no longer exists in the network."""
-        keys = self._session_prefixes.pop(session_id, frozenset())
+        keys = self._session_prefixes.pop(session_id, {})
         self._session_sig.pop(session_id, None)
         for key in keys:
             self._sessions_by_key.get(key, set()).discard(session_id)

@@ -37,9 +37,19 @@ from repro.bgp.route import Route
 from repro.bgp.router import Router
 from repro.bgp.session import Session
 from repro.errors import ConvergenceError
+from repro.bgp.policy import MAP_STATS
 from repro.net.community import NO_ADVERTISE, NO_EXPORT
 from repro.net.prefix import Prefix
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, labelled
+from repro.obs.profile import (
+    PHASE_DECISION,
+    PHASE_DISPATCH,
+    PHASE_EXPORT,
+    PHASE_RIB_MERGE,
+    PHASE_ROUTE_MAP,
+    PhaseProfiler,
+    get_profiler,
+)
 from repro.obs.trace import (
     EVENT_BUDGET_EXHAUSTED,
     EVENT_DECISION,
@@ -57,6 +67,10 @@ class EngineStats:
     prefixes: int = 0
     messages: int = 0
     decisions: int = 0
+    clauses_evaluated: int = 0
+    """Route-map clauses evaluated (import + export maps)."""
+    clauses_matched: int = 0
+    """Route-map clauses whose match predicate fired."""
     budget_exhaustions: int = 0
     """Times a per-prefix simulation hit its message budget.
 
@@ -73,6 +87,8 @@ class EngineStats:
         self.prefixes += other.prefixes
         self.messages += other.messages
         self.decisions += other.decisions
+        self.clauses_evaluated += other.clauses_evaluated
+        self.clauses_matched += other.clauses_matched
         self.budget_exhaustions += other.budget_exhaustions
         self.per_prefix_messages.update(other.per_prefix_messages)
         self.diverged.extend(other.diverged)
@@ -142,13 +158,20 @@ def simulate_prefix(
     network.clear_prefix(prefix)
     stats = EngineStats(prefixes=1)
     tracer = get_tracer()
+    profiler = get_profiler()
+    # The hot loop pays one None check per hook point when profiling is
+    # off (mirroring the tracer's `enabled` idiom).
+    prof = profiler if profiler.enabled else None
+    map_stats_before = MAP_STATS.snapshot()
     queue: deque[tuple[Session, Route | None]] = deque()
 
     for router_id in sorted(network.originators(prefix)):
         router = network.routers[router_id]
         router.local_routes[prefix] = Route.originate(prefix, router_id)
         network.note_touched(prefix, router_id)
-        _decide_and_export(network, router, prefix, config, queue, stats, tracer)
+        _decide_and_export(
+            network, router, prefix, config, queue, stats, tracer, prof
+        )
 
     while queue:
         stats.messages += 1
@@ -161,37 +184,81 @@ def simulate_prefix(
                     messages=stats.messages,
                     budget=max_messages,
                 )
+            _account_route_map(stats, map_stats_before)
             raise ConvergenceError(prefix, stats.messages, max_messages)
+        if prof:
+            prof.push(PHASE_DISPATCH)
         session, announced = queue.popleft()
         receiver = session.dst
-        accepted = _import_route(session, announced)
+        accepted = _import_route(session, announced, prof)
+        if prof:
+            prof.switch(PHASE_RIB_MERGE)
         rib_in = receiver.adj_rib_in.setdefault(prefix, {})
         previous = rib_in.get(session.session_id)
+        changed = True
         if accepted is None:
             if previous is None:
-                continue
-            del rib_in[session.session_id]
+                changed = False
+            else:
+                del rib_in[session.session_id]
         else:
             if accepted.attributes_equal(previous) and (
                 previous is not None
                 and accepted.source == previous.source
                 and accepted.peer_router == previous.peer_router
             ):
-                continue
-            rib_in[session.session_id] = accepted
+                changed = False
+            else:
+                rib_in[session.session_id] = accepted
+        if prof:
+            prof.pop()
+        if not changed:
+            continue
         network.note_touched(prefix, receiver.router_id)
-        _decide_and_export(network, receiver, prefix, config, queue, stats, tracer)
+        _decide_and_export(
+            network, receiver, prefix, config, queue, stats, tracer, prof
+        )
 
     stats.per_prefix_messages[prefix] = stats.messages
+    _account_route_map(stats, map_stats_before)
     registry = get_registry()
     registry.counter("engine.prefixes").inc()
     registry.counter("engine.messages").inc(stats.messages)
     registry.counter("engine.decisions").inc(stats.decisions)
+    registry.counter("engine.clauses_evaluated").inc(stats.clauses_evaluated)
+    registry.counter("engine.clauses_matched").inc(stats.clauses_matched)
     registry.histogram("engine.messages_per_prefix").observe(stats.messages)
+    if prof:
+        # Per-prefix hot-path attribution is profiling-only: a labelled
+        # instrument per prefix is exactly what `repro profile` wants and
+        # exactly what a long refinement run must not accumulate.
+        label = str(prefix)
+        registry.counter(
+            labelled("engine.prefix.messages", prefix=label)
+        ).inc(stats.messages)
+        registry.counter(
+            labelled("engine.prefix.decisions", prefix=label)
+        ).inc(stats.decisions)
+        registry.counter(
+            labelled("engine.prefix.clauses_matched", prefix=label)
+        ).inc(stats.clauses_matched)
     return stats
 
 
-def _import_route(session: Session, announced: Route | None) -> Route | None:
+def _account_route_map(
+    stats: EngineStats, before: tuple[int, int, int]
+) -> None:
+    """Fold the route-map counter deltas since ``before`` into ``stats``."""
+    _, evaluated, matched = MAP_STATS.snapshot()
+    stats.clauses_evaluated += evaluated - before[1]
+    stats.clauses_matched += matched - before[2]
+
+
+def _import_route(
+    session: Session,
+    announced: Route | None,
+    profiler: PhaseProfiler | None = None,
+) -> Route | None:
     """Apply receive-side processing: loop rejection, defaults, import map."""
     if announced is None:
         return None
@@ -218,6 +285,9 @@ def _import_route(session: Session, announced: Route | None) -> Route | None:
             peer_asn=session.src.asn,
         )
     if session.import_map is not None:
+        if profiler is not None:
+            with profiler.phase(PHASE_ROUTE_MAP):
+                return session.import_map.apply(route)
         return session.import_map.apply(route)
     return route
 
@@ -230,78 +300,93 @@ def _decide_and_export(
     queue: deque,
     stats: EngineStats,
     tracer: Tracer,
+    profiler: PhaseProfiler | None = None,
 ) -> None:
     """Re-run the decision process at ``router`` and propagate any change."""
     stats.decisions += 1
-    candidates = router.candidates(prefix)
-    if candidates:
-        node = network.ases[router.asn]
+    if profiler is not None:
+        profiler.push(PHASE_DECISION)
+    try:
+        candidates = router.candidates(prefix)
+        if candidates:
+            node = network.ases[router.asn]
 
-        def igp_cost(route: Route) -> float:
-            if route.source is not RouteSource.IBGP:
-                return 0.0
-            return node.igp.cost(router.router_id, route.next_hop)
+            def igp_cost(route: Route) -> float:
+                if route.source is not RouteSource.IBGP:
+                    return 0.0
+                return node.igp.cost(router.router_id, route.next_hop)
 
-        if tracer.enabled:
-            # run_decision is behaviourally identical to select_best but
-            # keeps the per-candidate elimination bookkeeping the trace
-            # event reports; the slower path only runs while tracing.
-            outcome = run_decision(candidates, config, igp_cost)
-            best = outcome.best
-            tracer.event(
-                EVENT_DECISION,
-                router=router.name,
-                prefix=str(prefix),
-                candidates=len(candidates),
-                best=list(best.as_path) if best is not None else None,
-                step=step_name(
-                    outcome.decisive_step if len(candidates) > 1 else None
-                ),
-            )
+            if tracer.enabled:
+                # run_decision is behaviourally identical to select_best but
+                # keeps the per-candidate elimination bookkeeping the trace
+                # event reports; the slower path only runs while tracing.
+                outcome = run_decision(candidates, config, igp_cost)
+                best = outcome.best
+                tracer.event(
+                    EVENT_DECISION,
+                    router=router.name,
+                    prefix=str(prefix),
+                    candidates=len(candidates),
+                    best=list(best.as_path) if best is not None else None,
+                    step=step_name(
+                        outcome.decisive_step if len(candidates) > 1 else None
+                    ),
+                )
+            else:
+                best = select_best(candidates, config, igp_cost)
         else:
-            best = select_best(candidates, config, igp_cost)
-    else:
-        best = None
+            best = None
 
-    previous_best = router.loc_rib.get(prefix)
-    if best is previous_best and best is not None:
-        return
-    if best is None and previous_best is None:
-        return
-    if (
-        best is not None
-        and previous_best is not None
-        and best.attributes_equal(previous_best)
-        and best.peer_router == previous_best.peer_router
-        and best.source == previous_best.source
-    ):
-        # Same announcement from the same place: nothing changed for peers,
-        # but keep the identical object in the Loc-RIB up to date.
-        router.loc_rib[prefix] = best
-        return
+        if profiler is not None:
+            profiler.switch(PHASE_RIB_MERGE)
+        previous_best = router.loc_rib.get(prefix)
+        if best is previous_best and best is not None:
+            return
+        if best is None and previous_best is None:
+            return
+        if (
+            best is not None
+            and previous_best is not None
+            and best.attributes_equal(previous_best)
+            and best.peer_router == previous_best.peer_router
+            and best.source == previous_best.source
+        ):
+            # Same announcement from the same place: nothing changed for peers,
+            # but keep the identical object in the Loc-RIB up to date.
+            router.loc_rib[prefix] = best
+            return
 
-    if best is None:
-        router.loc_rib.pop(prefix, None)
-    else:
-        router.loc_rib[prefix] = best
-    network.note_touched(prefix, router.router_id)
-
-    rib_out = router.adj_rib_out.setdefault(prefix, {})
-    for session in router.sessions_out:
-        exported = _export_route(session, best)
-        previous = rib_out.get(session.session_id)
-        if exported is None and previous is None:
-            continue
-        if exported is not None and exported.attributes_equal(previous):
-            continue
-        if exported is None:
-            del rib_out[session.session_id]
+        if best is None:
+            router.loc_rib.pop(prefix, None)
         else:
-            rib_out[session.session_id] = exported
-        queue.append((session, exported))
+            router.loc_rib[prefix] = best
+        network.note_touched(prefix, router.router_id)
+
+        if profiler is not None:
+            profiler.switch(PHASE_EXPORT)
+        rib_out = router.adj_rib_out.setdefault(prefix, {})
+        for session in router.sessions_out:
+            exported = _export_route(session, best, profiler)
+            previous = rib_out.get(session.session_id)
+            if exported is None and previous is None:
+                continue
+            if exported is not None and exported.attributes_equal(previous):
+                continue
+            if exported is None:
+                del rib_out[session.session_id]
+            else:
+                rib_out[session.session_id] = exported
+            queue.append((session, exported))
+    finally:
+        if profiler is not None:
+            profiler.pop()
 
 
-def _export_route(session: Session, best: Route | None) -> Route | None:
+def _export_route(
+    session: Session,
+    best: Route | None,
+    profiler: PhaseProfiler | None = None,
+) -> Route | None:
     """Apply send-side processing: export rules, prepending, export map."""
     if best is None:
         return None
@@ -346,5 +431,8 @@ def _export_route(session: Session, best: Route | None) -> Route | None:
             cluster_list=(),
         )
     if session.export_map is not None:
+        if profiler is not None:
+            with profiler.phase(PHASE_ROUTE_MAP):
+                return session.export_map.apply(route)
         return session.export_map.apply(route)
     return route

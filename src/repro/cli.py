@@ -45,6 +45,14 @@ Subcommands mirror the paper's workflow:
 * ``repro serve`` — serve a compiled artifact over a threaded HTTP/JSON
   API (GET /paths /diversity /lookup /healthz /metrics) until a
   SIGINT/SIGTERM drains it gracefully.
+* ``repro profile`` — run a workload (refine, compile-artifact or
+  ingest) under the phase-attribution profiler, optionally with the
+  statistical stack sampler, and write a versioned ``PROFILE.json``
+  (plus a flamegraph-ready ``.folded`` stack file).
+* ``repro bench-diff`` — compare the flat ``metrics`` maps of two
+  PROFILE.json / ``results/BENCH_*.json`` documents against per-metric
+  regression thresholds; exits 1 when anything regressed (the CI perf
+  gate).
 
 Global flags: ``--log-level`` / ``--log-json`` configure the ``repro``
 logger tree; ``refine`` and ``chaos`` accept ``--trace FILE`` to write a
@@ -374,6 +382,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a 'repro stats'-renderable JSON report "
                             "here after the drain")
     serve.set_defaults(handler=cmd_serve)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a workload under the phase profiler and write PROFILE.json",
+    )
+    profile.add_argument("workload",
+                         choices=("refine", "compile-artifact", "ingest"),
+                         help="pipeline to profile end to end")
+    profile.add_argument("dump",
+                         help="table dump (refine/compile-artifact) or raw "
+                              "feed (ingest) the workload consumes")
+    profile.add_argument("--out", default="PROFILE.json",
+                         help="PROFILE.json path to write")
+    profile.add_argument("--folded", metavar="FILE",
+                         help="write a collapsed-stack .folded file here "
+                              "(implies --sample)")
+    profile.add_argument("--sample", action="store_true",
+                         help="run the statistical stack sampler alongside "
+                              "the phase profiler")
+    profile.add_argument("--sample-mode", choices=("thread", "signal"),
+                         default="thread",
+                         help="sampler clock: thread=wall-clock (default), "
+                              "signal=CPU time via SIGPROF")
+    profile.add_argument("--sample-interval", type=float, default=0.005,
+                         help="sampling period in seconds")
+    profile.add_argument("--trace-memory", action="store_true",
+                         help="attribute tracemalloc peak memory per phase "
+                              "(slows the run)")
+    profile.add_argument("--max-iterations", type=int, default=10,
+                         help="refinement iteration cap for the "
+                              "refine/compile-artifact workloads")
+    profile.set_defaults(handler=cmd_profile)
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="compare two PROFILE/BENCH JSONs; exit 1 on regression",
+    )
+    bench_diff.add_argument("base", help="baseline PROFILE.json/BENCH_*.json")
+    bench_diff.add_argument("current", help="candidate PROFILE.json/BENCH_*.json")
+    bench_diff.add_argument("--default-threshold", type=float, default=20.0,
+                            help="percent change tolerated before a metric "
+                                 "counts as regressed")
+    bench_diff.add_argument("--threshold", action="append", metavar="NAME=PCT",
+                            help="per-metric threshold override (repeatable)")
+    bench_diff.add_argument("--skip", action="append", metavar="GLOB",
+                            help="fnmatch glob of metric names to exclude "
+                                 "(repeatable); e.g. '*seconds*' when base "
+                                 "and current ran on different machines")
+    bench_diff.add_argument("--json", action="store_true", dest="as_json",
+                            help="emit the comparison as JSON instead of text")
+    bench_diff.set_defaults(handler=cmd_bench_diff)
     return parser
 
 
@@ -1218,6 +1277,96 @@ def cmd_serve(args) -> int:
         health.write(args.stats_report)
         print(f"wrote stats report to {args.stats_report}", file=sys.stderr)
     return code
+
+
+def cmd_profile(args) -> int:
+    """Handle ``repro profile``.
+
+    Exit codes: 0 profiled, 2 bad arguments, 4 unusable input.
+    """
+    from repro.experiments.profiling import (
+        WORKLOAD_COMPILE,
+        WORKLOAD_INGEST,
+        compile_workload,
+        ingest_workload,
+        refine_workload,
+        run_profiled,
+    )
+    from repro.obs.profile import render_profile, write_profile
+
+    workload_info = {"name": args.workload, "dump": args.dump}
+    if args.workload == WORKLOAD_INGEST:
+        fn = ingest_workload(args.dump)
+    else:
+        workload_info["max_iterations"] = args.max_iterations
+        if args.workload == WORKLOAD_COMPILE:
+            fn = compile_workload(args.dump, max_iterations=args.max_iterations)
+        else:
+            fn = refine_workload(args.dump, max_iterations=args.max_iterations)
+    sample = args.sample or args.folded is not None
+    try:
+        run = run_profiled(
+            workload_info,
+            fn,
+            trace_memory=args.trace_memory,
+            sample=sample,
+            sample_mode=args.sample_mode,
+            sample_interval=args.sample_interval,
+            folded_path=args.folded,
+            meta=run_metadata(argv=getattr(args, "invocation", None)),
+        )
+    except (DatasetError, ParseError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    write_profile(run.document, args.out)
+    print(render_profile(run.document))
+    print(f"wrote profile to {args.out}", file=sys.stderr)
+    if args.folded and run.sampler is not None:
+        print(
+            f"wrote {len(run.sampler.stacks)} collapsed stacks "
+            f"({run.sampler.samples} samples) to {args.folded}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    """Handle ``repro bench-diff``.
+
+    Exit codes: 0 no regressions, 1 regression(s), 2 bad arguments,
+    4 unreadable/invalid input documents.
+    """
+    from repro.obs.benchdiff import diff_files
+
+    thresholds: dict[str, float] = {}
+    for spec in args.threshold or []:
+        name, separator, pct = spec.partition("=")
+        if not separator or not name:
+            print(f"error: --threshold expects NAME=PCT, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            thresholds[name] = float(pct)
+        except ValueError:
+            print(f"error: --threshold {spec!r}: {pct!r} is not a number",
+                  file=sys.stderr)
+            return 2
+    try:
+        diff = diff_files(
+            args.base,
+            args.current,
+            default_threshold=args.default_threshold,
+            thresholds=thresholds,
+            skip=args.skip or [],
+        )
+    except DatasetError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    if args.as_json:
+        print(diff.to_json())
+    else:
+        print(diff.render())
+    return diff.exit_code
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from repro.core.model import MODEL_DECISION_CONFIG, ASRoutingModel
 from repro.errors import CheckpointError, RefinementError, ShutdownRequested
 from repro.net.prefix import Prefix
 from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
 from repro.obs.trace import (
     EVENT_LINT_QUARANTINE,
     EVENT_POLICY_DELETE,
@@ -459,35 +460,39 @@ class Refiner:
         """One Figure 6 cycle: grade paths, apply fixes, re-simulate."""
         stats = IterationStats(iteration=iteration)
         started = time.perf_counter()
+        profiler = get_profiler()
         with get_tracer().span("refine-iteration", iteration=iteration):
             dirty: set[int] = set()
-            for origin in sorted(self.targets):
-                prefix = self.model.canonical_prefix(origin)
-                reserved: dict[int, tuple[int, ...]] = {}
-                origin_changed = False
-                for path in self.targets[origin]:
-                    stats.paths_total += 1
-                    matched, changed = self._process_path(
-                        prefix, path, reserved, stats
-                    )
-                    stats.paths_matched += matched
-                    origin_changed |= changed
-                if origin_changed:
-                    dirty.add(origin)
+            with profiler.phase("refine.grade"):
+                for origin in sorted(self.targets):
+                    prefix = self.model.canonical_prefix(origin)
+                    reserved: dict[int, tuple[int, ...]] = {}
+                    origin_changed = False
+                    for path in self.targets[origin]:
+                        stats.paths_total += 1
+                        matched, changed = self._process_path(
+                            prefix, path, reserved, stats
+                        )
+                        stats.paths_matched += matched
+                        origin_changed |= changed
+                    if origin_changed:
+                        dirty.add(origin)
             if self.certificates is not None and dirty:
                 # Incremental re-certification: only prefixes whose
                 # dependency set intersects this iteration's policy
                 # changes are re-fingerprinted.  A prefix the changes made
                 # statically unsafe is quarantined before any simulation
                 # budget is spent on it.
-                self.certificates.certify(self.model.network)
-                dropped = self._quarantine_unsafe(
-                    self.certificates.unsafe_prefixes()
-                )
+                with profiler.phase("refine.certify"):
+                    self.certificates.certify(self.model.network)
+                    dropped = self._quarantine_unsafe(
+                        self.certificates.unsafe_prefixes()
+                    )
                 dirty -= set(dropped)
-            for origin in sorted(dirty):
-                self._simulate_origin(origin)
-                stats.prefixes_resimulated += 1
+            with profiler.phase("refine.resimulate"):
+                for origin in sorted(dirty):
+                    self._simulate_origin(origin)
+                    stats.prefixes_resimulated += 1
         registry = get_registry()
         registry.counter("refine.iterations").inc()
         registry.counter("refine.policies_installed").inc(stats.policies_installed)

@@ -20,6 +20,13 @@ package makes simulated BGP outcomes auditable:
   (``--log-level`` / ``--log-json``).
 * :mod:`repro.obs.meta` — run metadata (git sha, python version, CLI
   args, seed) stamped into health reports and benchmark results.
+* :mod:`repro.obs.profile` — phase-attribution profiling (exclusive
+  wall/CPU/memory per named engine phase) and the versioned
+  ``PROFILE.json`` document behind ``repro profile``.
+* :mod:`repro.obs.sampling` — a stdlib statistical stack sampler
+  emitting collapsed-stack ``.folded`` files for flamegraphs.
+* :mod:`repro.obs.benchdiff` — threshold-gated comparison of two
+  PROFILE/BENCH metric maps (``repro bench-diff``, the CI perf gate).
 """
 
 from repro.obs.logs import configure_logging
@@ -30,8 +37,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    labelled,
+    render_prometheus,
     set_registry,
 )
+from repro.obs.profile import (
+    NullProfiler,
+    PhaseProfiler,
+    build_profile_document,
+    get_profiler,
+    profiling,
+    set_profiler,
+)
+from repro.obs.sampling import StackSampler
 from repro.obs.trace import (
     JsonlTracer,
     NullTracer,
@@ -59,15 +77,24 @@ __all__ = [
     "Histogram",
     "JsonlTracer",
     "MetricsRegistry",
+    "NullProfiler",
     "NullTracer",
+    "PhaseProfiler",
     "PrefixExplanation",
     "RecordingTracer",
+    "StackSampler",
     "Tracer",
+    "build_profile_document",
     "configure_logging",
     "explain_prefix",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "labelled",
+    "profiling",
+    "render_prometheus",
     "run_metadata",
+    "set_profiler",
     "set_registry",
     "set_tracer",
     "tracing",

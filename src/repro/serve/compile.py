@@ -25,6 +25,7 @@ from repro.errors import ModelError
 from repro.net.prefix import Prefix
 from repro.obs.meta import run_metadata
 from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
 from repro.relationships.types import RelationshipMap
 from repro.resilience.retry import ResilienceStats, RetryPolicy
 from repro.serve.artifact import PredictionArtifact, build_artifact
@@ -92,14 +93,16 @@ def compile_artifact(
             "answers for it"
         )
     registry = get_registry()
+    profiler = get_profiler()
     report = CompileReport(prefixes=len(model.prefix_by_origin))
 
     # Certify before simulating: the certificates describe the *static*
     # model, so the findings frozen into the artifact are exactly what a
     # later `repro lint` of the same model would report.
     started = time.perf_counter()
-    store = certify_network(model.network, relationships=relationships)
-    certificates = store.to_dict()
+    with profiler.phase("compile.certify"):
+        store = certify_network(model.network, relationships=relationships)
+        certificates = store.to_dict()
     report.certify_seconds = time.perf_counter() - started
     report.certified_findings = len(store.report().findings)
     registry.counter("serve.compile.certified_findings").inc(
@@ -107,9 +110,10 @@ def compile_artifact(
     )
 
     started = time.perf_counter()
-    stats = model.simulate_all_resilient(
-        policy=retry or RetryPolicy(), parallel=parallel
-    )
+    with profiler.phase("compile.simulate"):
+        stats = model.simulate_all_resilient(
+            policy=retry or RetryPolicy(), parallel=parallel
+        )
     report.simulate_seconds = time.perf_counter() - started
     report.stats = stats
     quarantined: set[Prefix] = set(
@@ -126,14 +130,15 @@ def compile_artifact(
         )
 
     started = time.perf_counter()
-    paths: dict[tuple[int, int], set[tuple[int, ...]]] = {}
-    for origin in sorted(model.prefix_by_origin):
-        if model.prefix_by_origin[origin] in quarantined:
-            continue
-        for observer in observer_list:
-            selected = selected_paths(model, origin, observer)
-            if selected:
-                paths[(origin, observer)] = selected
+    with profiler.phase("compile.collect"):
+        paths: dict[tuple[int, int], set[tuple[int, ...]]] = {}
+        for origin in sorted(model.prefix_by_origin):
+            if model.prefix_by_origin[origin] in quarantined:
+                continue
+            for observer in observer_list:
+                selected = selected_paths(model, origin, observer)
+                if selected:
+                    paths[(origin, observer)] = selected
     report.collect_seconds = time.perf_counter() - started
     report.pairs = len(paths)
     registry.counter("serve.compile.pairs").inc(report.pairs)

@@ -9,6 +9,11 @@ in a threaded ``http.server`` with five GET endpoints::
     /healthz                              liveness + artifact summary
     /metrics                              metrics-registry snapshot
 
+``/metrics`` defaults to the JSON snapshot but serves the Prometheus
+text exposition when asked — either explicitly (``?format=prometheus``)
+or through Accept-header negotiation (``Accept: text/plain`` or an
+OpenMetrics type), so a stock Prometheus scrape config works unchanged.
+
 Every response body is JSON.  Failures are structured, not stack traces:
 ``{"error": {"status": 400, "kind": "...", "message": "..."}}`` with 400
 for malformed requests, 404 for unknown ASNs/targets, 503 for origins
@@ -36,7 +41,7 @@ from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, render_prometheus
 from repro.obs.trace import get_tracer
 from repro.serve.engine import (
     BAD_TARGET,
@@ -92,7 +97,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             status, body = handler(self, query)
-            self._send_json(status, body)
+            if isinstance(body, str):
+                self._send_text(status, body)
+            else:
+                self._send_json(status, body)
         except QueryError as error:
             self._send_error(
                 _STATUS_BY_KIND.get(error.kind, 400), error.kind, str(error)
@@ -138,9 +146,26 @@ class _Handler(BaseHTTPRequestHandler):
             "cache": server.engine.cache_stats(),
         }
 
-    def _endpoint_metrics(self, query: dict) -> tuple[int, dict]:
-        del query
+    def _endpoint_metrics(self, query: dict) -> tuple[int, dict | str]:
+        if self._wants_prometheus(query):
+            return 200, render_prometheus()
         return 200, get_registry().snapshot()
+
+    def _wants_prometheus(self, query: dict) -> bool:
+        """Explicit ``?format=`` wins; otherwise negotiate on Accept."""
+        values = query.get("format")
+        if values and values[0]:
+            fmt = values[0].lower()
+            if fmt == "prometheus":
+                return True
+            if fmt == "json":
+                return False
+            raise QueryError(
+                BAD_TARGET,
+                f"unknown metrics format {fmt!r}; try 'json' or 'prometheus'",
+            )
+        accept = self.headers.get("Accept") or ""
+        return "text/plain" in accept or "openmetrics" in accept
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -167,6 +192,17 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload, sort_keys=True).encode("ascii")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.responses.inc()
+
+    def _send_text(self, status: int, body_text: str) -> None:
+        body = body_text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -156,6 +156,45 @@ class TestIncrementalInvalidation:
         assert store.report().to_json() == fresh.report().to_json()
 
 
+class TestSameKeyClauseChange:
+    def test_removing_one_of_two_same_prefix_clauses_is_detected(self):
+        # Regression: a per-prefix clause edit used to be invisible when
+        # the session kept ANOTHER clause for the same prefix — the
+        # session's key set did not change, so the key was never
+        # re-fingerprinted and its certificate went stale.  Found by
+        # hypothesis as edits=[(0, 0, 0), (1, 0, 1)]: install tagged
+        # clauses for prefix A, then remove them while invalidating a
+        # DIFFERENT prefix.
+        network = small_internet()
+        store = certify_network(network)
+        prefixes = sorted(network.prefixes())
+        routers = sorted(
+            {s.dst.router_id: s.dst for s in network.ebgp_sessions()}.items()
+        )
+        router = routers[0][1]
+        prefix_a, prefix_b = prefixes[0], prefixes[1]
+
+        refine_style_edit(network, router, prefix_a, "edit-0")
+        store.invalidate_policy(router.router_id, prefix_a)
+        store.certify(network)
+        assert (
+            store.store_fingerprint()
+            == certify_network(network).store_fingerprint()
+        )
+
+        for session in router.sessions_in:
+            if session.import_map is not None:
+                session.import_map.remove_if(
+                    lambda clause: clause.tag is not None
+                    and clause.tag.startswith("edit-")
+                )
+        store.invalidate_policy(router.router_id, prefix_b)
+        store.certify(network)
+        fresh = certify_network(network)
+        assert store.store_fingerprint() == fresh.store_fingerprint()
+        assert store.report().to_json() == fresh.report().to_json()
+
+
 NUM_EDITS = st.lists(
     st.tuples(
         st.integers(min_value=0, max_value=3),   # op

@@ -122,6 +122,54 @@ class TestEndpoints:
         assert body["counters"]["serve.http_responses"] >= 1
 
 
+class TestPrometheusExposition:
+    def _get_text(self, server, path, accept=None):
+        request = urllib.request.Request(f"http://{server.address}{path}")
+        if accept:
+            request.add_header("Accept", accept)
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+
+    def test_format_parameter_serves_prometheus_text(self, server):
+        assert get(server, "/paths?origin=4&observer=1")[0] == 200
+        status, content_type, text = self._get_text(
+            server, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_serve_queries_total counter" in text
+        assert "repro_serve_queries_total" in text
+        assert "# TYPE repro_serve_request_seconds summary" in text
+        assert 'quantile="0.99"' in text
+
+    def test_accept_header_negotiates_prometheus(self, server):
+        status, content_type, text = self._get_text(
+            server, "/metrics", accept="text/plain"
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE" in text
+
+    def test_default_stays_json(self, server):
+        status, body = get(server, "/metrics")
+        assert status == 200
+        assert "counters" in body  # JSON snapshot, not text
+
+    def test_explicit_json_format(self, server):
+        status, body = get(server, "/metrics?format=json")
+        assert status == 200
+        assert "counters" in body
+
+    def test_unknown_format_400(self, server):
+        status, body = get(server, "/metrics?format=xml")
+        assert status == 400
+        assert "xml" in body["error"]["message"]
+
+
 class TestConcurrency:
     def test_concurrent_queries_share_the_lru(self, server):
         results = []
