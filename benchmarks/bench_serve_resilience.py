@@ -1,0 +1,30 @@
+"""SERVE-RESILIENCE: the serve-path chaos campaign, emitting
+BENCH_serve_resilience.json.
+
+Unlike the throughput benchmark this one measures availability, not
+speed: it drives a real ``repro serve --workers 2`` process tree through
+hot reloads, a corrupted artifact, a ``kill -9``, an overload burst and
+a SIGTERM drain, and records the contract numbers (dropped requests,
+worker-replacement time, shed rate, admitted p99).
+"""
+
+from conftest import publish, run_once, write_results
+
+from repro.experiments import serve_chaos
+
+
+def test_serve_resilience(benchmark, workload_name):
+    result = run_once(
+        benchmark, serve_chaos.run, serve_chaos.ServeChaosConfig()
+    )
+    publish(benchmark, result)
+    write_results("BENCH_serve_resilience.json", result, workload_name)
+    # The availability contract, as recorded numbers.
+    assert result.metrics["reload_dropped_requests"] == 0
+    assert result.metrics["corrupt_reload_dropped_requests"] == 0
+    assert result.metrics["degraded_observed"] == 1.0
+    assert result.metrics["kill_recovery_seconds"] <= 15.0
+    assert result.metrics["kill_window_successes"] > 0
+    assert result.metrics["overload_shed"] > 0
+    assert result.metrics["overload_admitted_p99_seconds"] <= 2.0
+    assert result.metrics["drain_exit_code"] == 0

@@ -294,6 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--hang-prefixes", type=int, default=0,
                        help="prefixes whose parallel task hangs until the "
                             "task watchdog fires (needs --workers >= 2)")
+    chaos.add_argument("--serve", action="store_true", dest="serve_campaign",
+                       help="run the serve-path resilience campaign (hot "
+                            "reloads, worker kills, overload, drain) "
+                            "against a real 'repro serve' process tree "
+                            "instead of the pipeline campaign")
+    chaos.add_argument("--serve-workers", type=int, default=2,
+                       help="SO_REUSEPORT workers for the --serve campaign")
+    chaos.add_argument("--bench-out", metavar="PATH",
+                       help="with --serve: write the campaign's "
+                            "BENCH_serve_resilience.json here")
     chaos.set_defaults(handler=cmd_chaos)
 
     explain = subparsers.add_parser(
@@ -378,6 +388,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded LRU entries in the query cache")
     serve.add_argument("--request-timeout", type=float, default=10.0,
                        help="per-connection socket timeout in seconds")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serve from N supervised SO_REUSEPORT "
+                            "processes; a killed worker is replaced "
+                            "automatically (default: 1, in-process)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="bounded admission: concurrent requests "
+                            "before load-shedding 503s (0 disables "
+                            "admission control)")
+    serve.add_argument("--deadline", type=float, default=5.0,
+                       help="per-request deadline in seconds (metered; "
+                            "late finishes count serve.deadline_exceeded)")
+    serve.add_argument("--watch-artifact", type=float, default=None,
+                       metavar="SECONDS",
+                       help="poll the artifact file at this interval and "
+                            "hot-reload when it changes (SIGHUP and "
+                            "POST /-/reload always work)")
+    serve.add_argument("--chaos-delay-ms", type=float, default=0.0,
+                       help="artificial per-query handler delay for "
+                            "overload/chaos testing (milliseconds)")
     serve.add_argument("--stats-report",
                        help="write a 'repro stats'-renderable JSON report "
                             "here after the drain")
@@ -968,6 +997,8 @@ def cmd_chaos(args) -> int:
     """Handle ``repro chaos``."""
     from repro.experiments.chaos import ChaosConfig, run_chaos
 
+    if args.serve_campaign:
+        return _cmd_chaos_serve(args)
     parallel = _parallel_config(args)
     if parallel is None and (args.kill_prefixes or args.hang_prefixes):
         print("error: --kill-prefixes/--hang-prefixes need --workers >= 2",
@@ -1027,6 +1058,34 @@ def cmd_chaos(args) -> int:
     parts.append(f"exit code {health.exit_code}")
     print(", ".join(parts), file=sys.stderr)
     return health.exit_code
+
+
+def _cmd_chaos_serve(args) -> int:
+    """Handle ``repro chaos --serve``: the serve-resilience campaign.
+
+    Exit codes: 0 contract held, 1 an availability assertion failed.
+    """
+    from repro.experiments.serve_chaos import (
+        ServeChaosConfig,
+        run,
+        write_bench,
+    )
+
+    if args.serve_workers < 2:
+        print("error: --serve-workers must be >= 2 (worker-kill recovery "
+              "needs a surviving worker)", file=sys.stderr)
+        return 2
+    config = ServeChaosConfig(seed=args.seed, workers=args.serve_workers)
+    try:
+        result = run(config)
+    except AssertionError as error:
+        print(f"serve chaos campaign FAILED: {error}", file=sys.stderr)
+        return 1
+    print(result.render())
+    if args.bench_out:
+        path = write_bench(result, args.bench_out)
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
 
 
 def cmd_explain(args) -> int:
@@ -1131,6 +1190,7 @@ def cmd_compile_artifact(args) -> int:
     """Handle ``repro compile-artifact``."""
     from repro.errors import ModelError
     from repro.serve import compile_artifact
+    from repro.serve.compile import write_artifact
 
     try:
         model = _load_model(args.model)
@@ -1167,7 +1227,7 @@ def cmd_compile_artifact(args) -> int:
             "was compiled; nothing written", file=sys.stderr,
         )
         return EXIT_INTERRUPTED
-    size = artifact.save(args.out)
+    size = write_artifact(artifact, args.out)
     print(
         f"compiled {len(artifact.origins)} origins x "
         f"{len(artifact.observers)} observers -> {report.pairs} pairs "
@@ -1247,7 +1307,7 @@ def cmd_query(args) -> int:
 def cmd_serve(args) -> int:
     """Handle ``repro serve``."""
     from repro.errors import ArtifactError
-    from repro.serve import run_server
+    from repro.serve import AdmissionController, run_server, run_supervised
 
     get_registry().reset()
     try:
@@ -1257,13 +1317,44 @@ def cmd_serve(args) -> int:
     except (ArtifactError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_DATA
+    handler_delay = max(0.0, args.chaos_delay_ms) / 1000.0
     try:
-        code = run_server(
-            engine,
-            host=args.host,
-            port=args.port,
-            request_timeout=args.request_timeout,
-        )
+        if args.workers > 1:
+            # N SO_REUSEPORT processes under the serve supervisor; each
+            # worker loads the artifact itself, so the engine above only
+            # served as an upfront validation of the file.
+            code = run_supervised(
+                args.artifact,
+                args.workers,
+                host=args.host,
+                port=args.port,
+                options={
+                    "cache_size": args.cache_size,
+                    "request_timeout": args.request_timeout,
+                    "max_inflight": max(0, args.max_inflight),
+                    "deadline_seconds": args.deadline,
+                    "watch_interval": args.watch_artifact,
+                    "handler_delay": handler_delay,
+                },
+            )
+        else:
+            admission = None
+            if args.max_inflight > 0:
+                admission = AdmissionController(
+                    max_inflight=args.max_inflight,
+                    deadline_seconds=args.deadline,
+                )
+            code = run_server(
+                engine,
+                host=args.host,
+                port=args.port,
+                request_timeout=args.request_timeout,
+                artifact_path=args.artifact,
+                cache_size=args.cache_size,
+                admission=admission,
+                watch_interval=args.watch_artifact,
+                handler_delay=handler_delay,
+            )
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)

@@ -1,0 +1,521 @@
+"""The serve-path chaos campaign (``BENCH_serve_resilience.json``).
+
+Attacks a real ``repro serve`` process tree the way production would —
+hot reloads under sustained query load, a corrupted artifact swapped in
+mid-flight, ``kill -9`` of a serve worker, a synthetic overload burst, a
+slow client squatting a connection, and a final SIGTERM drain — and
+asserts the availability contract from ISSUE 9:
+
+* zero requests dropped across hot reloads (the RCU swap is invisible),
+* a corrupted reload leaves the old artifact serving (degraded, loudly),
+* a killed worker is replaced within a bounded interval while its
+  siblings keep answering,
+* overload sheds fast 503s carrying ``Retry-After`` instead of queueing,
+  with the p99 of *admitted* requests inside the configured deadline,
+* SIGTERM still exits 0 after all of the above.
+
+Everything is subprocess-driven (the campaign talks to the server over
+real sockets and signals), artifacts are hand-built (no simulation), and
+every fault is deterministic in ``seed``, so the recorded numbers are
+reproducible run-to-run.  ``repro chaos --serve`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.experiments.report import ExperimentResult
+from repro.net.prefix import prefix_for_asn
+from repro.resilience.faults import corrupt_artifact_payload
+from repro.serve.artifact import PredictionArtifact, build_artifact
+
+QUERY = "/paths?origin=10&observer=1"
+"""The sustained-load query; answerable by every campaign artifact."""
+
+
+@dataclass(frozen=True)
+class ServeChaosConfig:
+    """A fully-determined serve-chaos campaign."""
+
+    seed: int = 0
+    workers: int = 2
+    request_timeout: float = 5.0
+    reload_timeout: float = 20.0
+    """Upper bound on observing a triggered reload in ``/healthz``."""
+    kill_recovery_bound: float = 15.0
+    """Availability contract: a killed worker must be replaced (a fresh
+    pid answering ``/healthz``) within this many seconds."""
+    overload_clients: int = 16
+    overload_max_inflight: int = 3
+    overload_deadline: float = 2.0
+    overload_delay_ms: float = 200.0
+    slow_client_hold: float = 2.0
+    drain_timeout: float = 30.0
+
+
+# ----------------------------------------------------------------------
+# Fixtures: artifacts and server processes
+# ----------------------------------------------------------------------
+
+
+def _build_artifact(path: Path, version: int) -> str:
+    """Write campaign artifact ``version`` (distinct checksums); returns
+    its checksum.  All versions answer ``QUERY``; later versions carry
+    more paths, the difference a reload must surface."""
+    paths = {
+        (10, 1): {(1, 2, 10), (1, 3, 10)},
+        (10, 2): {(2, 10)},
+        (11, 1): {(1, 11)},
+    }
+    for extra in range(2, version + 1):
+        paths[(10, 1)] = set(paths[(10, 1)]) | {(1, 2, 3 + extra, 10)}
+    artifact = build_artifact(
+        origins={10: prefix_for_asn(10), 11: prefix_for_asn(11)},
+        observers=[1, 2, 3],
+        paths=paths,
+        meta={"campaign": "serve-chaos", "version": version},
+    )
+    artifact.save(path)
+    return artifact.checksum
+
+
+def _spawn_server(artifact: Path, extra_args: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(artifact),
+         "--port", "0", *extra_args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+
+
+def _read_banner(process: subprocess.Popen, timeout: float = 30.0) -> str:
+    """Parse ``host:port`` from the startup banner, bounded in time."""
+    lines: list[str] = []
+
+    def read() -> None:
+        lines.append(process.stdout.readline())
+
+    reader = threading.Thread(target=read, daemon=True)
+    reader.start()
+    reader.join(timeout)
+    if not lines or "http://" not in (lines[0] or ""):
+        raise AssertionError(
+            f"server did not announce within {timeout}s "
+            f"(got {lines[0]!r} )" if lines else "server produced no banner"
+        )
+    return lines[0].strip().rsplit("http://", 1)[1]
+
+
+def _request(
+    address: str, path: str, timeout: float = 5.0
+) -> tuple[int | None, dict, dict]:
+    """GET; returns (status, headers, body) — status None on a drop."""
+    url = f"http://{address}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.load(response)
+    except urllib.error.HTTPError as error:
+        body = json.load(error)
+        return error.code, dict(error.headers), body
+    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError):
+        return None, {}, {}
+
+
+class _LoadGenerator:
+    """Background thread issuing ``QUERY`` back-to-back; every outcome is
+    recorded so "zero dropped requests" is checkable after the fact."""
+
+    def __init__(self, address: str, timeout: float) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.outcomes: list[tuple[int | None, float]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            started = time.perf_counter()
+            status, _, _ = _request(
+                self.address, QUERY, timeout=self.timeout
+            )
+            with self._lock:
+                self.outcomes.append(
+                    (status, time.perf_counter() - started)
+                )
+
+    def start(self) -> "_LoadGenerator":
+        self._thread.start()
+        return self
+
+    def mark(self) -> int:
+        with self._lock:
+            return len(self.outcomes)
+
+    def since(self, mark: int) -> list[tuple[int | None, float]]:
+        with self._lock:
+            return list(self.outcomes[mark:])
+
+    def stop(self) -> list[tuple[int | None, float]]:
+        self._stop.set()
+        self._thread.join(timeout=10)
+        with self._lock:
+            return list(self.outcomes)
+
+
+def _await_health(
+    address: str,
+    predicate,
+    timeout: float,
+    interval: float = 0.05,
+) -> dict | None:
+    """Poll ``/healthz`` until ``predicate(body)`` holds; None on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = _request(address, "/healthz", timeout=5.0)
+        if status is not None and predicate(body):
+            return body
+        time.sleep(interval)
+    return None
+
+
+# ----------------------------------------------------------------------
+# The campaign
+# ----------------------------------------------------------------------
+
+
+def run(
+    config: ServeChaosConfig = ServeChaosConfig(), scratch: Path | None = None
+) -> ExperimentResult:
+    """Run the full serve-resilience campaign; raises AssertionError the
+    moment the availability contract is violated."""
+    import tempfile
+
+    if scratch is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run(config, Path(tmp))
+    result = ExperimentResult(
+        experiment_id="SERVE-RESILIENCE",
+        title="Serve-path chaos: reloads, worker kills, overload, drain",
+        headers=["phase", "requests", "failures", "outcome"],
+    )
+    artifact = scratch / "chaos.artifact"
+    checksums = {1: _build_artifact(artifact, 1)}
+
+    process = _spawn_server(
+        artifact,
+        ["--workers", str(config.workers),
+         "--request-timeout", str(config.request_timeout)],
+    )
+    try:
+        address = _read_banner(process)
+        assert _await_health(address, lambda b: b.get("status") == "ok", 10.0), \
+            "server never reported healthy"
+        load = _LoadGenerator(address, config.request_timeout).start()
+
+        _phase_hot_reload(config, result, process, address, load,
+                          artifact, checksums)
+        _phase_corrupted_reload(config, result, process, address, load,
+                                artifact, checksums)
+        _phase_worker_kill(config, result, address, load)
+        _phase_slow_client(config, result, address)
+
+        outcomes = load.stop()
+        result.metrics["sustained_requests"] = float(len(outcomes))
+        _phase_drain(config, result, process)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    _phase_overload(config, result, artifact)
+    result.note(
+        f"{config.workers} SO_REUSEPORT workers under the serve "
+        "supervisor; all faults injected over real sockets and signals"
+    )
+    result.note(
+        "availability contract: reload_dropped_requests == 0, killed "
+        f"worker replaced < {config.kill_recovery_bound}s, overload sheds "
+        "503 + Retry-After with admitted p99 inside the deadline"
+    )
+    return result
+
+
+def _failures(outcomes: list[tuple[int | None, float]]) -> int:
+    return sum(1 for status, _ in outcomes if status != 200)
+
+
+def _phase_hot_reload(
+    config, result, process, address, load, artifact, checksums
+) -> None:
+    """Recompile under load, SIGHUP, observe the new checksum, drop zero."""
+    mark = load.mark()
+    checksums[2] = _build_artifact(artifact, 2)
+    process.send_signal(signal.SIGHUP)
+    swapped = _await_health(
+        address,
+        lambda b: b.get("artifact", {}).get("checksum") == checksums[2],
+        config.reload_timeout,
+    )
+    assert swapped is not None, "hot reload never surfaced in /healthz"
+    # Every worker got the SIGHUP; insist the whole fleet converged (the
+    # kernel spreads our polls across workers).
+    deadline = time.monotonic() + config.reload_timeout
+    streak = 0
+    while streak < 2 * config.workers and time.monotonic() < deadline:
+        _, _, body = _request(address, "/healthz")
+        streak = (
+            streak + 1
+            if body.get("artifact", {}).get("checksum") == checksums[2]
+            else 0
+        )
+        time.sleep(0.02)
+    assert streak >= 2 * config.workers, \
+        "not every worker converged on the reloaded artifact"
+    outcomes = load.since(mark)
+    dropped = _failures(outcomes)
+    assert dropped == 0, (
+        f"hot reload dropped {dropped} of {len(outcomes)} in-flight "
+        f"requests: {[s for s, _ in outcomes if s != 200][:5]}"
+    )
+    result.add_row("hot-reload", len(outcomes), dropped,
+                   f"swapped to {checksums[2][:12]}")
+    result.metrics["reload_dropped_requests"] = float(dropped)
+    result.metrics["reload_requests"] = float(len(outcomes))
+
+
+def _phase_corrupted_reload(
+    config, result, process, address, load, artifact, checksums
+) -> None:
+    """Corrupt the artifact, SIGHUP: old answers keep flowing, degraded
+    is surfaced, and a subsequent good artifact recovers."""
+    mark = load.mark()
+    corrupt_artifact_payload(artifact, seed=config.seed)
+    process.send_signal(signal.SIGHUP)
+    degraded = _await_health(
+        address,
+        lambda b: b.get("status") == "degraded"
+        and b.get("reload", {}).get("failures", 0) >= 1,
+        config.reload_timeout,
+    )
+    assert degraded is not None, \
+        "corrupted reload never surfaced degraded status in /healthz"
+    assert degraded["artifact"]["checksum"] == checksums[2], \
+        "degraded server is not serving the previous artifact"
+    assert degraded["reload"]["last_error"], \
+        "degraded health report carries no reload error"
+    status, _, _ = _request(address, QUERY)
+    assert status == 200, "degraded server stopped answering queries"
+    # Recovery: a good artifact v3 clears the degraded flag.
+    checksums[3] = _build_artifact(artifact, 3)
+    process.send_signal(signal.SIGHUP)
+    recovered = _await_health(
+        address,
+        lambda b: b.get("status") == "ok"
+        and b.get("artifact", {}).get("checksum") == checksums[3],
+        config.reload_timeout,
+    )
+    assert recovered is not None, \
+        "server never recovered from the corrupted reload"
+    outcomes = load.since(mark)
+    dropped = _failures(outcomes)
+    assert dropped == 0, (
+        f"corrupted reload dropped {dropped} of {len(outcomes)} requests"
+    )
+    result.add_row("corrupted-reload", len(outcomes), dropped,
+                   "degraded surfaced, old artifact kept serving")
+    result.metrics["degraded_observed"] = 1.0
+    result.metrics["corrupt_reload_dropped_requests"] = float(dropped)
+
+
+def _phase_worker_kill(config, result, address, load) -> None:
+    """kill -9 one worker; the supervisor must replace it in bound."""
+    pids: set[int] = set()
+    deadline = time.monotonic() + 10.0
+    while len(pids) < config.workers and time.monotonic() < deadline:
+        status, _, body = _request(address, "/healthz")
+        if status is not None and "pid" in body:
+            pids.add(body["pid"])
+        time.sleep(0.02)
+    assert pids, "could not discover any worker pid via /healthz"
+    victim = sorted(pids)[0]
+    mark = load.mark()
+    killed_at = time.monotonic()
+    os.kill(victim, signal.SIGKILL)
+    replacement: dict | None = None
+    successes_during = 0
+    recovery_deadline = killed_at + config.kill_recovery_bound
+    while time.monotonic() < recovery_deadline:
+        status, _, body = _request(address, "/healthz")
+        if status is not None:
+            successes_during += 1
+            if body.get("pid") not in pids:
+                replacement = body
+                break
+        time.sleep(0.02)
+    recovery = time.monotonic() - killed_at
+    assert replacement is not None, (
+        f"killed worker (pid {victim}) was not replaced within "
+        f"{config.kill_recovery_bound}s"
+    )
+    assert successes_during > 0, \
+        "no successful responses while the killed worker was down"
+    outcomes = load.since(mark)
+    survivors = sum(1 for s, _ in outcomes if s == 200)
+    assert survivors > 0, \
+        "sustained load saw zero successes across the worker kill"
+    result.add_row(
+        "worker-kill", len(outcomes), _failures(outcomes),
+        f"pid {victim} replaced by {replacement['pid']} in {recovery:.2f}s",
+    )
+    result.metrics["kill_recovery_seconds"] = recovery
+    result.metrics["kill_window_successes"] = float(survivors)
+    result.metrics["kill_window_failures"] = float(_failures(outcomes))
+
+
+def _phase_slow_client(config, result, address) -> None:
+    """A half-sent request squats a connection; service is unaffected."""
+    host, port = address.rsplit(":", 1)
+    stalled = socket.create_connection((host, int(port)), timeout=10)
+    try:
+        stalled.sendall(b"GET " + QUERY.encode("ascii") + b" HTTP/1.1\r\n")
+        probes, failures = 0, 0
+        deadline = time.monotonic() + config.slow_client_hold
+        while time.monotonic() < deadline:
+            status, _, _ = _request(address, QUERY)
+            probes += 1
+            if status != 200:
+                failures += 1
+            time.sleep(0.02)
+    finally:
+        stalled.close()
+    assert failures == 0, (
+        f"slow client stalled the server: {failures}/{probes} probes failed"
+    )
+    result.add_row("slow-client", probes, failures,
+                   f"stalled socket held {config.slow_client_hold}s, "
+                   "service unaffected")
+    result.metrics["slow_client_failures"] = float(failures)
+
+
+def _phase_drain(config, result, process) -> None:
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=config.drain_timeout)
+    assert code == 0, f"supervisor drained with exit code {code}, wanted 0"
+    result.add_row("drain", "-", 0, "SIGTERM -> exit 0")
+    result.metrics["drain_exit_code"] = float(code)
+
+
+def _phase_overload(config, result, artifact) -> None:
+    """A burst beyond max-inflight sheds 503 + Retry-After; admitted
+    requests stay inside the deadline (a single worker, deterministic)."""
+    process = _spawn_server(
+        artifact,
+        ["--max-inflight", str(config.overload_max_inflight),
+         "--deadline", str(config.overload_deadline),
+         "--chaos-delay-ms", str(config.overload_delay_ms)],
+    )
+    try:
+        address = _read_banner(process)
+        outcomes: list[tuple[int | None, dict, float]] = []
+        lock = threading.Lock()
+        gate = threading.Barrier(config.overload_clients)
+
+        def client() -> None:
+            gate.wait()
+            started = time.perf_counter()
+            status, headers, _ = _request(address, QUERY, timeout=30.0)
+            with lock:
+                outcomes.append(
+                    (status, headers, time.perf_counter() - started)
+                )
+
+        threads = [
+            threading.Thread(target=client)
+            for _ in range(config.overload_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # The ops plane must answer *during* overload too; re-burst while
+        # probing /healthz.
+        status, _, _ = _request(address, "/healthz")
+        assert status in (200, 503), "healthz unreachable under overload"
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=config.drain_timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+    admitted = [(s, h, t) for s, h, t in outcomes if s == 200]
+    shed = [(s, h, t) for s, h, t in outcomes if s == 503]
+    dropped = [o for o in outcomes if o[0] is None]
+    assert not dropped, f"overload dropped {len(dropped)} connections"
+    assert shed, (
+        f"{config.overload_clients} concurrent clients against "
+        f"max-inflight {config.overload_max_inflight} shed nothing"
+    )
+    assert admitted, "overload shed every request; none admitted"
+    missing_retry = [h for _, h, _ in shed if "Retry-After" not in h]
+    assert not missing_retry, \
+        f"{len(missing_retry)} shed responses lack Retry-After"
+    latencies = sorted(t for _, _, t in admitted)
+    p99 = latencies[min(len(latencies) - 1,
+                        max(0, round(0.99 * len(latencies)) - 1))]
+    assert p99 <= config.overload_deadline, (
+        f"admitted p99 {p99:.3f}s blew the {config.overload_deadline}s "
+        "deadline"
+    )
+    result.add_row(
+        "overload", len(outcomes), len(shed),
+        f"{len(shed)} shed with Retry-After, admitted p99 {p99 * 1e3:.0f}ms",
+    )
+    result.metrics["overload_shed"] = float(len(shed))
+    result.metrics["overload_admitted"] = float(len(admitted))
+    result.metrics["overload_shed_rate"] = len(shed) / len(outcomes)
+    result.metrics["overload_admitted_p99_seconds"] = p99
+
+
+def write_bench(result: ExperimentResult, path: str | Path) -> Path:
+    """Persist the campaign as a ``BENCH_*.json`` (same shape as the
+    pytest benchmarks write), stamped with run metadata."""
+    from repro.obs.meta import run_metadata
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": result.rows,
+                "metrics": result.metrics,
+                "notes": result.notes,
+                "meta": run_metadata(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return target

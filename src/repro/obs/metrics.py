@@ -64,10 +64,23 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
         """Record the current level."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Move the level by ``delta`` (negative to decrease).
+
+        Needed for levels maintained from many threads at once (e.g.
+        ``serve.inflight``), where read-modify-write through :meth:`set`
+        would lose updates."""
+        with self._lock:
+            self.value += float(delta)
 
 
 class Histogram:

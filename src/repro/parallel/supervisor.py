@@ -84,6 +84,86 @@ _TICK_SECONDS = 0.05
 """Upper bound on how long the event loop blocks waiting for messages."""
 
 
+class SupervisionLedger:
+    """Spawn/death/restart accounting shared by every supervisor.
+
+    Both the simulation pool (this module) and the serve-worker
+    supervisor (:mod:`repro.serve.supervisor`) restart dead processes;
+    the ledger gives them one implementation of the bookkeeping —
+    metric counters under ``{prefix}.workers_spawned`` /
+    ``{prefix}.worker_restarts`` / ``{prefix}.worker_deaths``, tracer
+    events, and the ``supervision`` summary dict health reports embed.
+    """
+
+    def __init__(self, prefix: str, workers: int) -> None:
+        self.prefix = prefix
+        self.workers = workers
+        self.spawned = 0
+        self.deaths = 0
+
+    @property
+    def restarts(self) -> int:
+        return max(0, self.spawned - self.workers)
+
+    def record_spawn(self, index: int, pid: int | None) -> tuple[int, bool]:
+        """Account one (re)spawn; returns ``(generation, is_restart)``."""
+        self.spawned += 1
+        generation = self.spawned
+        restart = generation > self.workers
+        get_registry().counter(f"{self.prefix}.workers_spawned").inc()
+        if restart:
+            get_registry().counter(f"{self.prefix}.worker_restarts").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_WORKER_SPAWN,
+                worker=index,
+                pid=pid,
+                generation=generation,
+                restart=restart,
+            )
+        logger.debug(
+            "%s %s worker %d (pid %s, generation %d)",
+            "restarted" if restart else "spawned",
+            self.prefix, index, pid, generation,
+        )
+        return generation, restart
+
+    def record_death(
+        self,
+        index: int,
+        pid: int | None,
+        generation: int,
+        reason: str,
+        task: str | None = None,
+    ) -> None:
+        """Account one worker loss (crash, stall, or watchdog kill)."""
+        self.deaths += 1
+        get_registry().counter(f"{self.prefix}.worker_deaths").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_WORKER_DEATH,
+                worker=index,
+                pid=pid,
+                generation=generation,
+                reason=reason,
+                task=task,
+            )
+        logger.warning(
+            "%s worker %d (pid %s) lost: %s", self.prefix, index, pid, reason
+        )
+
+    def summary(self) -> dict:
+        """The base supervision dict (callers may extend it)."""
+        return {
+            "workers": self.workers,
+            "spawned": self.spawned,
+            "deaths": self.deaths,
+            "restarts": self.restarts,
+        }
+
+
 @dataclass(frozen=True)
 class ParallelConfig:
     """How the supervised pool runs.
@@ -171,8 +251,7 @@ class SupervisedPool:
         self._ctx = get_context(start_method)
         self._blob = pickle.dumps(network)
         self._workers: list[_Worker | None] = [None] * parallel.workers
-        self._spawned = 0
-        self._crashes = 0
+        self._ledger = SupervisionLedger("parallel", parallel.workers)
         self._timeouts = 0
         self._resubmits = 0
         self._drain_signum: int | None = None
@@ -287,25 +366,7 @@ class SupervisedPool:
         )
         process.start()
         child_conn.close()
-        self._spawned += 1
-        generation = self._spawned
-        restart = generation > self.parallel.workers
-        get_registry().counter("parallel.workers_spawned").inc()
-        if restart:
-            get_registry().counter("parallel.worker_restarts").inc()
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.event(
-                EVENT_WORKER_SPAWN,
-                worker=index,
-                pid=process.pid,
-                generation=generation,
-                restart=restart,
-            )
-        logger.debug(
-            "%s worker %d (pid %d, generation %d)",
-            "restarted" if restart else "spawned", index, process.pid, generation,
-        )
+        generation, _ = self._ledger.record_spawn(index, process.pid)
         now = time.monotonic()
         return _Worker(
             index=index,
@@ -333,22 +394,14 @@ class SupervisedPool:
         failed: dict[Prefix, PrefixOutcome],
     ) -> None:
         """Handle a dead/hung worker: charge its task, kill, restart."""
-        self._crashes += 1
-        get_registry().counter("parallel.worker_deaths").inc()
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.event(
-                EVENT_WORKER_DEATH,
-                worker=worker.index,
-                pid=worker.pid,
-                generation=worker.generation,
-                reason=reason,
-                task=tasks[worker.task_id].prefix.__str__()
-                if worker.task_id is not None
-                else None,
-            )
-        logger.warning(
-            "worker %d (pid %d) lost: %s", worker.index, worker.pid, reason
+        self._ledger.record_death(
+            worker.index,
+            worker.pid,
+            worker.generation,
+            reason,
+            task=str(tasks[worker.task_id].prefix)
+            if worker.task_id is not None
+            else None,
         )
         task_id = worker.task_id
         self._kill_worker(worker)
@@ -601,10 +654,7 @@ class SupervisedPool:
             stats.outcomes.append(failed[prefix])
         stats.outcomes.sort(key=lambda o: o.prefix)
         stats.supervision = {
-            "workers": self.parallel.workers,
-            "spawned": self._spawned,
-            "deaths": self._crashes,
-            "restarts": max(0, self._spawned - self.parallel.workers),
+            **self._ledger.summary(),
             "task_timeouts": self._timeouts,
             "resubmits": self._resubmits,
             "drained": self._drain_signum is not None,

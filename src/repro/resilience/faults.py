@@ -243,3 +243,28 @@ def corrupt_dump_lines(
         else:
             out.append(line)
     return out
+
+
+def corrupt_artifact_payload(path, seed: int = 0) -> int:
+    """Flip bytes inside a prediction artifact's compressed payload.
+
+    The header line is left intact, so a reader gets past the magic and
+    schema checks and fails loudly at the payload checksum — exactly the
+    bit-rot (or torn copy) the serve-path chaos campaign injects between
+    a compile and a hot reload.  Returns how many bytes were flipped.
+    Deterministic in ``seed``.
+    """
+    from pathlib import Path
+
+    blob = bytearray(Path(path).read_bytes())
+    newline = blob.find(b"\n", blob.find(b"\n") + 1)  # end of header line
+    payload_start = newline + 1
+    if newline < 0 or payload_start >= len(blob):
+        raise TopologyError(f"{path} is too short to be an artifact")
+    rng = random.Random(seed)
+    flips = max(1, (len(blob) - payload_start) // 64)
+    for _ in range(flips):
+        index = rng.randrange(payload_start, len(blob))
+        blob[index] ^= 0xFF
+    Path(path).write_bytes(bytes(blob))
+    return flips

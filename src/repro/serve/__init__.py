@@ -16,10 +16,23 @@ package splits that cost in two:
 * :mod:`repro.serve.http` — a stdlib-only threaded HTTP/JSON API
   (``repro serve``) with structured errors and a graceful
   SIGINT/SIGTERM drain.
+* :mod:`repro.serve.reload` — zero-downtime hot swaps: SIGHUP /
+  ``POST /-/reload`` / an :class:`~repro.serve.reload.ArtifactWatcher`
+  stage a recompiled artifact off-thread and swap the engine behind an
+  RCU-style :class:`~repro.serve.reload.EngineRef`; failed validation
+  keeps the old artifact serving in degraded mode.
+* :mod:`repro.serve.admission` — overload protection: bounded
+  admission with per-request deadlines, load-shedding 503s carrying
+  ``Retry-After``, and a sliding-window breaker that sheds the most
+  expensive route first.
+* :mod:`repro.serve.supervisor` — ``repro serve --workers N``: N
+  ``SO_REUSEPORT`` server processes under a watchdog/heartbeat/restart
+  supervisor, so a ``kill -9`` costs one worker, never the service.
 
 CLI: ``repro compile-artifact``, ``repro query``, ``repro serve``.
 """
 
+from repro.serve.admission import AdmissionController, Rejection, Ticket
 from repro.serve.artifact import (
     MAGIC,
     SCHEMA_VERSION,
@@ -35,19 +48,35 @@ from repro.serve.engine import (
     QueryError,
 )
 from repro.serve.http import PredictionServer, run_server
+from repro.serve.reload import (
+    ArtifactWatcher,
+    EngineRef,
+    ReloadCoordinator,
+    ReloadState,
+)
+from repro.serve.supervisor import ServeSupervisor, run_supervised
 
 __all__ = [
     "MAGIC",
     "SCHEMA_VERSION",
+    "AdmissionController",
+    "ArtifactWatcher",
     "CompileReport",
     "DiversityAnswer",
+    "EngineRef",
     "LookupAnswer",
     "PathsAnswer",
     "PredictionArtifact",
     "PredictionServer",
     "QueryEngine",
     "QueryError",
+    "Rejection",
+    "ReloadCoordinator",
+    "ReloadState",
+    "ServeSupervisor",
+    "Ticket",
     "build_artifact",
     "compile_artifact",
     "run_server",
+    "run_supervised",
 ]

@@ -1,0 +1,226 @@
+"""Overload protection for the serving path: admit, shed, or break.
+
+An unprotected ``ThreadingHTTPServer`` admits every connection and
+spawns a thread for it; under overload that queues unboundedly, latency
+climbs past any useful deadline, and the server falls over serving
+requests nobody is still waiting for.  This module bounds the damage
+with three nested mechanisms, all metered through the registry:
+
+**Bounded admission.**  At most ``max_inflight`` requests execute at
+once.  The excess is shed *immediately* with a 503 carrying
+``Retry-After`` — a fast rejection the client can act on beats a slow
+answer it already timed out on.
+
+**Per-request deadlines.**  Every admitted request carries a deadline
+(``deadline_seconds`` from admission).  Handlers that finish late are
+counted (``serve.deadline_exceeded``) and the headroom distribution is
+recorded, so "p99 within deadline" is a measurable contract, not a hope.
+
+**Sliding-window breaker.**  When sheds keep happening (more than
+``breaker_threshold`` inside ``breaker_window`` seconds), bounded
+admission alone is not clearing the overload — so the breaker opens on
+the *most expensive route* (highest observed mean cost in the window)
+and sheds it outright for ``breaker_cooloff`` seconds.  Cheap endpoints
+keep answering; the endpoint that is burning the capacity pays for it.
+
+Operational endpoints (``/healthz``, ``/readyz``, ``/metrics``) never
+pass through admission — an overloaded server that cannot tell its load
+balancer it is overloaded cannot recover.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.metrics import get_registry, labelled
+
+DEFAULT_MAX_INFLIGHT = 64
+"""Concurrent requests admitted before load-shedding starts."""
+
+DEFAULT_DEADLINE_SECONDS = 5.0
+"""Wall-clock budget one admitted request may spend."""
+
+
+@dataclass
+class Ticket:
+    """One admitted request: its route, start time, and deadline."""
+
+    route: str
+    started: float
+    deadline_seconds: float
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left before the deadline (negative when blown)."""
+        return self.deadline_seconds - (time.monotonic() - self.started)
+
+
+@dataclass
+class Rejection:
+    """Why a request was shed, and when to come back."""
+
+    reason: str
+    retry_after: int
+    """Whole seconds for the ``Retry-After`` header (always >= 1)."""
+
+
+class AdmissionController:
+    """Thread-safe admission gate shared by all handler threads."""
+
+    def __init__(
+        self,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
+        breaker_window: float = 10.0,
+        breaker_threshold: int = 20,
+        breaker_cooloff: float = 5.0,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        if deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        self.max_inflight = max_inflight
+        self.deadline_seconds = deadline_seconds
+        self.breaker_window = breaker_window
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooloff = breaker_cooloff
+        self._lock = threading.Lock()
+        self._inflight = 0
+        # Sliding windows: shed timestamps, and (timestamp, seconds) cost
+        # samples per route, trimmed lazily to `breaker_window`.
+        self._sheds: deque[float] = deque()
+        self._costs: dict[str, deque[tuple[float, float]]] = {}
+        self._broken_route: str | None = None
+        self._broken_until = 0.0
+        registry = get_registry()
+        self._inflight_gauge = registry.gauge("serve.inflight")
+        self._admitted = registry.counter("serve.admitted")
+        self._shed = registry.counter("serve.shed")
+        self._breaker_opens = registry.counter("serve.breaker_opens")
+        self._deadline_exceeded = registry.counter("serve.deadline_exceeded")
+        self._headroom = registry.histogram("serve.deadline_headroom_seconds")
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+
+    def admit(self, route: str) -> Ticket | Rejection:
+        """Admit ``route`` or explain the shed; callers must
+        :meth:`release` every :class:`Ticket` they receive."""
+        now = time.monotonic()
+        with self._lock:
+            if self._broken_route == route:
+                if now < self._broken_until:
+                    remaining = self._broken_until - now
+                    self._record_shed(now, route, "breaker-open")
+                    return Rejection(
+                        reason="breaker-open",
+                        retry_after=max(1, math.ceil(remaining)),
+                    )
+                self._broken_route = None  # cooloff elapsed: half-open
+            if self._inflight >= self.max_inflight:
+                self._record_shed(now, route, "overload")
+                self._maybe_open_breaker(now)
+                return Rejection(reason="overload", retry_after=1)
+            self._inflight += 1
+            self._inflight_gauge.add(1)
+            self._admitted.inc()
+        return Ticket(
+            route=route, started=now, deadline_seconds=self.deadline_seconds
+        )
+
+    def release(self, ticket: Ticket) -> None:
+        """Finish one admitted request: record its cost and headroom."""
+        now = time.monotonic()
+        elapsed = now - ticket.started
+        headroom = ticket.deadline_seconds - elapsed
+        self._headroom.observe(headroom)
+        if headroom < 0:
+            self._deadline_exceeded.inc()
+        with self._lock:
+            self._inflight -= 1
+            self._inflight_gauge.add(-1)
+            samples = self._costs.setdefault(ticket.route, deque())
+            samples.append((now, elapsed))
+            self._trim(samples, now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def describe(self) -> dict:
+        """Snapshot for ``/healthz``."""
+        now = time.monotonic()
+        with self._lock:
+            self._trim(self._sheds, now)
+            broken = (
+                self._broken_route if now < self._broken_until else None
+            )
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "deadline_seconds": self.deadline_seconds,
+                "recent_sheds": len(self._sheds),
+                "breaker_open_route": broken,
+            }
+
+    # ------------------------------------------------------------------
+    # Internals (call with self._lock held)
+    # ------------------------------------------------------------------
+
+    def _record_shed(self, now: float, route: str, reason: str) -> None:
+        self._sheds.append(now)
+        self._trim(self._sheds, now)
+        self._shed.inc()
+        get_registry().counter(
+            labelled("serve.shed", route=route, reason=reason)
+        ).inc()
+
+    def _maybe_open_breaker(self, now: float) -> None:
+        if self._broken_route is not None and now < self._broken_until:
+            return
+        if len(self._sheds) <= self.breaker_threshold:
+            return
+        route = self._most_expensive_route(now)
+        if route is None:
+            return
+        self._broken_route = route
+        self._broken_until = now + self.breaker_cooloff
+        self._breaker_opens.inc()
+        get_registry().counter(
+            labelled("serve.breaker_opens", route=route)
+        ).inc()
+
+    def _most_expensive_route(self, now: float) -> str | None:
+        """Highest mean in-window cost; the route the breaker sheds."""
+        best_route, best_cost = None, -1.0
+        for route, samples in self._costs.items():
+            self._trim(samples, now)
+            if not samples:
+                continue
+            mean = sum(seconds for _, seconds in samples) / len(samples)
+            if mean > best_cost:
+                best_route, best_cost = route, mean
+        return best_route
+
+    def _trim(self, window: deque, now: float) -> None:
+        horizon = now - self.breaker_window
+        while window and _stamp(window[0]) < horizon:
+            window.popleft()
+
+
+def _stamp(entry: float | tuple[float, float]) -> float:
+    return entry[0] if isinstance(entry, tuple) else entry

@@ -86,6 +86,15 @@ class PredictionArtifact:
     without either source model.  Empty when compilation skipped
     certification; readers must tolerate absence."""
 
+    checksum: str = ""
+    """SHA-256 of the compressed payload, as recorded in the file header.
+
+    Set by :meth:`load` (verified against the bytes read) and by
+    :meth:`save` (computed while writing); empty for an in-memory
+    artifact that has never touched disk.  The serving layer surfaces it
+    through ``/healthz`` so operators can tell *which* artifact version a
+    hot-swapped server is answering from."""
+
     schema: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -178,6 +187,7 @@ class PredictionArtifact:
         temp = target.with_name(target.name + ".tmp")
         temp.write_bytes(blob)
         os.replace(temp, target)
+        object.__setattr__(self, "checksum", header["payload_sha256"])
         return len(blob)
 
     @classmethod
@@ -234,7 +244,9 @@ class PredictionArtifact:
                 f"{path} has an undecodable payload despite a valid "
                 f"checksum: {error}"
             ) from error
-        return cls.from_payload(document)
+        artifact = cls.from_payload(document)
+        object.__setattr__(artifact, "checksum", digest)
+        return artifact
 
     @classmethod
     def from_payload(cls, document: Mapping) -> "PredictionArtifact":

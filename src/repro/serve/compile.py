@@ -164,3 +164,18 @@ def compile_artifact(
         report.simulate_seconds, report.collect_seconds,
     )
     return artifact, report
+
+
+def write_artifact(artifact: PredictionArtifact, path) -> int:
+    """Persist one artifact under the ``compile.write`` profiler phase.
+
+    The atomic temp + ``os.replace`` write in
+    :meth:`~repro.serve.artifact.PredictionArtifact.save` is what makes
+    hot reloads safe to trigger from a file watcher — a server can never
+    observe a half-written artifact, only the old file or the new one.
+    Returns bytes written and counts them (``serve.compile.bytes``).
+    """
+    with get_profiler().phase("compile.write"):
+        size = artifact.save(path)
+    get_registry().counter("serve.compile.bytes").inc(size)
+    return size

@@ -226,6 +226,7 @@ class QueryEngine:
         """Artifact summary for /healthz."""
         return {
             "schema": self.artifact.schema,
+            "checksum": self.artifact.checksum,
             "origins": len(self.artifact.origins),
             "observers": len(self.artifact.observers),
             "pairs": self.artifact.pair_count,

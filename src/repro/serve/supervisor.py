@@ -1,0 +1,436 @@
+"""Supervised multi-worker serving over ``SO_REUSEPORT``.
+
+``repro serve --workers N`` must survive what a single process cannot:
+a ``kill -9``, a segfault, an OOM kill.  The supervisor owns no sockets
+that serve traffic — it reserves the port, forks N worker processes that
+each bind it with ``SO_REUSEPORT`` (the kernel load-balances accepts
+between them), and then does nothing but watch:
+
+* **Port reservation** — a placeholder socket is bound (never listened)
+  with ``SO_REUSEPORT`` before the first fork, so ``--port 0`` resolves
+  to one concrete port that every worker (including restarts, minutes
+  later) can still bind.  Only listening sockets receive connections,
+  so the placeholder steals no traffic.
+* **Liveness** — workers heartbeat over a pipe (reusing the PR-4 worker
+  protocol's ``MSG_READY``/``MSG_HEARTBEAT``); a dead process or a
+  silent one past the grace period is killed and replaced while its
+  siblings keep answering.  Spawns/deaths/restarts are accounted through
+  the shared :class:`~repro.parallel.supervisor.SupervisionLedger`
+  (``serve.workers_spawned`` / ``serve.worker_deaths`` /
+  ``serve.worker_restarts``).
+* **Boot-loop protection** — a worker that keeps dying before it ever
+  reports ready (bad artifact, port stolen) stops the whole supervisor
+  after ``max_boot_failures`` consecutive failures instead of forking
+  forever.
+* **Signal fan-out** — SIGTERM/SIGINT drain every worker gracefully
+  (each worker runs the full single-process drain contract) and the
+  supervisor exits 0; SIGHUP is forwarded so one signal hot-swaps the
+  artifact in every worker.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.parallel.protocol import MSG_ERROR, MSG_HEARTBEAT, MSG_READY
+from repro.parallel.supervisor import SupervisionLedger
+
+logger = logging.getLogger(__name__)
+
+_TICK_SECONDS = 0.1
+"""Upper bound on how long the watch loop blocks waiting for messages."""
+
+BOOT_FAILURE_EXIT = 1
+"""Supervisor exit code when workers cannot boot at all."""
+
+
+class _ServeWorker:
+    """Parent-side record of one serve worker process."""
+
+    def __init__(self, index, generation, process, conn):
+        self.index = index
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        self.pid = process.pid
+        self.ready = False
+        self.spawned_at = time.monotonic()
+        self.last_beat = self.spawned_at
+
+
+def _serve_worker_main(
+    conn, artifact_path: str, host: str, port: int, options: dict
+) -> None:
+    """Entry point of one serve worker process.
+
+    Loads its own copy of the artifact (workers share nothing but the
+    port), reports readiness + heartbeats over ``conn``, and runs the
+    full single-process serve loop — including its own SIGTERM drain
+    contract and its own reload coordinator, so a forwarded SIGHUP
+    hot-swaps this worker independently of its siblings.
+    """
+    from repro.errors import ArtifactError
+    from repro.obs.metrics import get_registry
+    from repro.serve.admission import AdmissionController
+    from repro.serve.artifact import PredictionArtifact
+    from repro.serve.engine import QueryEngine
+    from repro.serve.http import run_server
+
+    get_registry().reset()
+    try:
+        artifact = PredictionArtifact.load(artifact_path)
+        engine = QueryEngine(
+            artifact, cache_size=options.get("cache_size", 4096)
+        )
+    except (ArtifactError, ValueError) as error:
+        try:
+            conn.send((MSG_ERROR, 0, f"worker boot failed: {error}"))
+        except (BrokenPipeError, OSError):
+            pass
+        os._exit(BOOT_FAILURE_EXIT)
+        return  # pragma: no cover - unreachable
+
+    stop_beats = threading.Event()
+    interval = options.get("heartbeat_interval", 0.5)
+
+    def beat() -> None:
+        while not stop_beats.wait(interval):
+            try:
+                conn.send((MSG_HEARTBEAT,))
+            except (BrokenPipeError, OSError):
+                return  # supervisor is gone; SIGTERM will follow
+
+    def announce_ready(server) -> None:
+        try:
+            conn.send((MSG_READY, os.getpid(), server.address))
+        except (BrokenPipeError, OSError):
+            pass
+        threading.Thread(
+            target=beat, name="serve-heartbeat", daemon=True
+        ).start()
+
+    admission = None
+    if options.get("max_inflight"):
+        admission = AdmissionController(
+            max_inflight=options["max_inflight"],
+            deadline_seconds=options.get("deadline_seconds", 5.0),
+        )
+    code = run_server(
+        engine,
+        host=host,
+        port=port,
+        request_timeout=options.get("request_timeout", 10.0),
+        artifact_path=artifact_path,
+        cache_size=options.get("cache_size", 4096),
+        admission=admission,
+        watch_interval=options.get("watch_interval"),
+        handler_delay=options.get("handler_delay", 0.0),
+        reuse_port=True,
+        announce=False,
+        on_ready=announce_ready,
+    )
+    stop_beats.set()
+    os._exit(code)
+
+
+class ServeSupervisor:
+    """Forks, watches, and replaces N ``SO_REUSEPORT`` serve workers."""
+
+    def __init__(
+        self,
+        artifact_path: str | Path,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        options: dict | None = None,
+        heartbeat_grace: float = 10.0,
+        drain_grace: float = 10.0,
+        max_boot_failures: int = 3,
+        restart_backoff: float = 0.05,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"ServeSupervisor needs workers >= 2, got {workers}; "
+                "use run_server for a single process"
+            )
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError(
+                "SO_REUSEPORT is not available on this platform; "
+                "run without --workers"
+            )
+        self.artifact_path = str(artifact_path)
+        self.host = host
+        self.requested_port = port
+        self.options = dict(options or {})
+        self.heartbeat_grace = heartbeat_grace
+        self.drain_grace = drain_grace
+        self.max_boot_failures = max_boot_failures
+        self.restart_backoff = restart_backoff
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = get_context("fork" if "fork" in methods else "spawn")
+        self._workers: list[_ServeWorker | None] = [None] * workers
+        self._ledger = SupervisionLedger("serve", workers)
+        self._boot_failures = 0
+        self._stop_signum: int | None = None
+        self._hup_pending = False
+        self._announced = False
+        self._placeholder: socket.socket | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def summary(self) -> dict:
+        """Supervision counts for reports and the chaos harness."""
+        return {
+            **self._ledger.summary(),
+            "boot_failures": self._boot_failures,
+            "drained": self._stop_signum is not None,
+        }
+
+    def run(self) -> int:
+        """Serve until SIGINT/SIGTERM; returns 0 on a clean drain."""
+        self._reserve_port()
+        previous = self._install_signal_handlers()
+        try:
+            for index in range(len(self._workers)):
+                self._workers[index] = self._spawn(index)
+            while self._stop_signum is None:
+                if self._hup_pending:
+                    self._hup_pending = False
+                    self._forward(signal.SIGHUP)
+                self._pump_messages()
+                if self._boot_failures >= self.max_boot_failures:
+                    logger.error(
+                        "giving up after %d consecutive worker boot "
+                        "failures; check the artifact and port",
+                        self._boot_failures,
+                    )
+                    self._shutdown_workers(signal.SIGTERM)
+                    return BOOT_FAILURE_EXIT
+                self._check_workers()
+        finally:
+            self._restore_signal_handlers(previous)
+            if self._stop_signum is not None:
+                self._shutdown_workers(signal.SIGTERM)
+            if self._placeholder is not None:
+                self._placeholder.close()
+                self._placeholder = None
+        summary = self.summary()
+        print(
+            f"drained on signal {self._stop_signum}: supervised "
+            f"{summary['workers']} worker(s), {summary['restarts']} "
+            "restart(s), shut down cleanly",
+            flush=True,
+        )
+        return 0
+
+    # ------------------------------------------------------------------
+    # Port and process lifecycle
+    # ------------------------------------------------------------------
+
+    def _reserve_port(self) -> None:
+        """Bind (never listen) the serving port so it survives restarts.
+
+        Only listening sockets receive connections, so this placeholder
+        pins ``--port 0``'s kernel-chosen port for the supervisor's
+        whole lifetime without stealing a single accept.
+        """
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            placeholder.bind((self.host, self.requested_port))
+        except OSError:
+            placeholder.close()
+            raise
+        self._placeholder = placeholder
+        self.port = placeholder.getsockname()[1]
+
+    def _spawn(self, index: int) -> _ServeWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_serve_worker_main,
+            args=(
+                child_conn,
+                self.artifact_path,
+                self.host,
+                self.port,
+                self.options,
+            ),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        generation, _ = self._ledger.record_spawn(index, process.pid)
+        return _ServeWorker(index, generation, process, parent_conn)
+
+    def _replace(self, worker: _ServeWorker, reason: str) -> None:
+        """Account one loss and restart the slot (unless stopping)."""
+        self._ledger.record_death(
+            worker.index, worker.pid, worker.generation, reason
+        )
+        if not worker.ready:
+            self._boot_failures += 1
+        else:
+            self._boot_failures = 0
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(2.0)
+        worker.conn.close()
+        self._workers[worker.index] = None
+        if self._stop_signum is not None:
+            return
+        if self._boot_failures >= self.max_boot_failures:
+            return  # the run loop turns this into BOOT_FAILURE_EXIT
+        if self._boot_failures:
+            time.sleep(self.restart_backoff * self._boot_failures)
+        self._workers[worker.index] = self._spawn(worker.index)
+
+    def _live_workers(self) -> list[_ServeWorker]:
+        return [w for w in self._workers if w is not None]
+
+    # ------------------------------------------------------------------
+    # Watch loop pieces
+    # ------------------------------------------------------------------
+
+    def _pump_messages(self) -> None:
+        conns = {w.conn: w for w in self._live_workers()}
+        if not conns:
+            time.sleep(_TICK_SECONDS)
+            return
+        ready = mp_connection.wait(list(conns), timeout=_TICK_SECONDS)
+        for conn in ready:
+            worker = conns[conn]
+            if self._workers[worker.index] is not worker:
+                continue
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._replace(worker, "crash")
+                    break
+                self._handle_message(worker, message)
+                if self._workers[worker.index] is not worker:
+                    break
+
+    def _handle_message(self, worker: _ServeWorker, message: tuple) -> None:
+        worker.last_beat = time.monotonic()
+        kind = message[0]
+        if kind == MSG_READY:
+            worker.ready = True
+            self._boot_failures = 0
+            logger.info(
+                "serve worker %d (pid %s) ready on %s",
+                worker.index, message[1], message[2],
+            )
+            if not self._announced:
+                self._announced = True
+                print(
+                    f"serving predictions on http://{self.address}",
+                    flush=True,
+                )
+        elif kind == MSG_ERROR:
+            logger.error(
+                "serve worker %d (pid %s): %s",
+                worker.index, worker.pid, message[2],
+            )
+
+    def _check_workers(self) -> None:
+        now = time.monotonic()
+        for worker in self._live_workers():
+            if not worker.process.is_alive() and not worker.conn.poll():
+                self._replace(worker, "crash")
+                continue
+            if now - worker.last_beat > self.heartbeat_grace:
+                self._replace(worker, "stalled")
+
+    # ------------------------------------------------------------------
+    # Signals and shutdown
+    # ------------------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        def handle_stop(signum, frame):  # noqa: ARG001
+            self._stop_signum = signum
+
+        def handle_hup(signum, frame):  # noqa: ARG001
+            self._hup_pending = True
+
+        previous = {}
+        handled = [(signal.SIGINT, handle_stop), (signal.SIGTERM, handle_stop)]
+        if hasattr(signal, "SIGHUP"):
+            handled.append((signal.SIGHUP, handle_hup))
+        for signum, handler in handled:
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except ValueError:  # not the main thread
+                break
+        return previous
+
+    def _restore_signal_handlers(self, previous) -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    def _forward(self, signum: int) -> None:
+        for worker in self._live_workers():
+            if worker.process.is_alive():
+                try:
+                    os.kill(worker.pid, signum)
+                except (ProcessLookupError, OSError):
+                    pass
+
+    def _shutdown_workers(self, signum: int) -> None:
+        """Drain every worker, bounded by ``drain_grace``, then kill."""
+        self._forward(signum)
+        deadline = time.monotonic() + self.drain_grace
+        for worker in self._live_workers():
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                logger.warning(
+                    "serve worker %d (pid %s) ignored the drain; killing",
+                    worker.index, worker.pid,
+                )
+                worker.process.kill()
+                worker.process.join(2.0)
+            worker.conn.close()
+        self._workers = [None] * len(self._workers)
+
+
+def run_supervised(
+    artifact_path: str | Path,
+    workers: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    options: dict | None = None,
+    **supervisor_kwargs,
+) -> int:
+    """Run the multi-worker serve supervisor until drained; returns its
+    exit code (0 clean drain, nonzero on boot failure)."""
+    supervisor = ServeSupervisor(
+        artifact_path,
+        workers,
+        host=host,
+        port=port,
+        options=options,
+        **supervisor_kwargs,
+    )
+    return supervisor.run()

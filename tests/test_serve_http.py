@@ -1,7 +1,9 @@
 """Tests for the ``repro serve`` HTTP API and its shutdown contract."""
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -9,7 +11,12 @@ import pytest
 
 from repro.net.prefix import prefix_for_asn
 from repro.obs.metrics import get_registry
-from repro.serve import PredictionServer, QueryEngine, build_artifact
+from repro.serve import (
+    AdmissionController,
+    PredictionServer,
+    QueryEngine,
+    build_artifact,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -194,6 +201,179 @@ class TestConcurrency:
         assert stats["queries"] == 60
         assert stats["misses"] == 1  # one cold compute, 59 LRU hits
         assert stats["hits"] == 59
+
+
+class TestResponseCounting:
+    """serve.http_responses counts successes ONLY; errors are separate.
+
+    PR-9 satellite: the counter used to be bumped once in the handler
+    and again in the error path, double-counting every failed request.
+    """
+
+    @staticmethod
+    def _settled(counter, expected, deadline=5.0):
+        """Counters bump after the response bytes leave the socket, so a
+        fast client can race them; wait for the dust to settle."""
+        limit = time.monotonic() + deadline
+        while counter.value < expected and time.monotonic() < limit:
+            time.sleep(0.01)
+        return counter.value
+
+    def test_success_and_error_counters_are_disjoint(self, server):
+        assert get(server, "/paths?origin=4&observer=1")[0] == 200
+        assert get(server, "/paths?origin=4&observer=2")[0] == 200
+        assert get(server, "/paths?origin=999&observer=1")[0] == 404
+        assert get(server, "/frobnicate")[0] == 404
+        registry = get_registry()
+        successes = self._settled(
+            registry.counter("serve.http_responses"), 2
+        )
+        errors = self._settled(registry.counter("serve.http_errors"), 2)
+        assert successes == 2  # exactly the two 200s, nothing double
+        assert errors == 2
+
+    def test_metrics_endpoint_counts_itself_once(self, server):
+        get(server, "/metrics")
+        assert get_registry().counter("serve.http_errors").value == 0
+        # Exactly one success recorded for the /metrics hit itself.
+        assert self._settled(
+            get_registry().counter("serve.http_responses"), 1
+        ) == 1
+
+
+class TestClientDisconnects:
+    def test_reset_mid_request_is_counted_not_raised(self, artifact):
+        engine = QueryEngine(artifact, cache_size=16)
+        instance = PredictionServer(
+            engine, host="127.0.0.1", port=0, handler_delay=0.3
+        )
+        loop = threading.Thread(target=instance.serve_forever, daemon=True)
+        loop.start()
+        try:
+            host, port = instance.server_address[:2]
+            client = socket.create_connection((host, port), timeout=5)
+            client.sendall(
+                b"GET /paths?origin=4&observer=1 HTTP/1.1\r\n"
+                b"Host: test\r\n\r\n"
+            )
+            # RST the connection while the handler is still sleeping.
+            client.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+            client.close()
+            counter = get_registry().counter("serve.client_disconnects")
+            deadline = time.monotonic() + 10.0
+            while counter.value == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert counter.value >= 1, "disconnect was not counted"
+            # The server is still healthy for the next client.
+            assert get(instance, "/healthz")[0] == 200
+        finally:
+            instance.drain()
+            loop.join(timeout=10)
+
+
+class TestDrainingState:
+    @pytest.fixture
+    def gated_server(self, artifact):
+        """A server with an admission gate (draining 503s need one)."""
+        engine = QueryEngine(artifact, cache_size=16)
+        instance = PredictionServer(
+            engine, host="127.0.0.1", port=0,
+            admission=AdmissionController(max_inflight=8),
+        )
+        loop = threading.Thread(target=instance.serve_forever, daemon=True)
+        loop.start()
+        yield instance
+        instance.drain()
+        loop.join(timeout=10)
+
+    def test_readyz_ok_when_serving(self, gated_server):
+        status, body = get(gated_server, "/readyz")
+        assert status == 200
+        assert body == {"ready": True, "status": "ok"}
+
+    def test_draining_flips_healthz_readyz_and_sheds_queries(
+        self, gated_server
+    ):
+        # Flag the state without closing sockets, so we can still probe.
+        gated_server.draining.set()
+        status, body = get(gated_server, "/healthz")
+        assert status == 503
+        assert body["status"] == "draining"
+        status, body = get(gated_server, "/readyz")
+        assert status == 503
+        assert body == {"ready": False, "status": "draining"}
+        status, body = get(gated_server, "/paths?origin=4&observer=1")
+        assert status == 503
+        assert body["error"]["kind"] == "draining"
+        gated_server.draining.clear()  # let the fixture drain cleanly
+
+    def test_drain_retry_after_header(self, gated_server):
+        gated_server.draining.set()
+        url = (
+            f"http://{gated_server.address}/paths?origin=4&observer=1"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(url, timeout=10)
+        assert info.value.headers["Retry-After"] == "1"
+        gated_server.draining.clear()
+
+
+class TestGracefulDrain:
+    def test_slow_inflight_requests_finish_during_drain(self, artifact):
+        """SIGTERM semantics: in-flight answers complete, none dropped."""
+        engine = QueryEngine(artifact, cache_size=16)
+        instance = PredictionServer(
+            engine, host="127.0.0.1", port=0, handler_delay=0.5
+        )
+        loop = threading.Thread(target=instance.serve_forever, daemon=True)
+        loop.start()
+        outcomes = []
+
+        def slow_query():
+            outcomes.append(get(instance, "/paths?origin=4&observer=1"))
+
+        clients = [threading.Thread(target=slow_query) for _ in range(3)]
+        for client in clients:
+            client.start()
+        time.sleep(0.2)  # all three are mid-handler_delay now
+        instance.drain()  # blocks until the loop stops + handlers finish
+        for client in clients:
+            client.join(timeout=15)
+        loop.join(timeout=10)
+        assert len(outcomes) == 3
+        assert all(status == 200 for status, _ in outcomes), outcomes
+
+
+class TestSignalHandlerRestoration:
+    def test_bind_failure_leaves_handlers_untouched(self, artifact):
+        """run_server must not clobber signal handlers when it cannot
+        even bind — the server is constructed before handlers are
+        installed, so EADDRINUSE propagates with handlers intact."""
+        import signal
+
+        from repro.serve import run_server
+
+        engine = QueryEngine(artifact, cache_size=16)
+        sentinel_term = lambda signum, frame: None  # noqa: E731
+        sentinel_int = lambda signum, frame: None  # noqa: E731
+        previous_term = signal.signal(signal.SIGTERM, sentinel_term)
+        previous_int = signal.signal(signal.SIGINT, sentinel_int)
+        squatter = socket.socket()
+        try:
+            squatter.bind(("127.0.0.1", 0))
+            squatter.listen(1)
+            port = squatter.getsockname()[1]
+            with pytest.raises(OSError):
+                run_server(engine, host="127.0.0.1", port=port)
+            assert signal.getsignal(signal.SIGTERM) is sentinel_term
+            assert signal.getsignal(signal.SIGINT) is sentinel_int
+        finally:
+            squatter.close()
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
 
 
 class TestServeCommand:
