@@ -1,0 +1,21 @@
+"""CAMP: depeer-campaign throughput, emitting BENCH_campaign.json."""
+
+from conftest import publish, run_once, write_results
+
+from repro.experiments import campaigns
+
+
+def test_campaign_throughput(benchmark, workload, workload_name):
+    result = run_once(
+        benchmark, campaigns.run, workload, max_scenarios=12,
+        worker_counts=(2,),
+    )
+    publish(benchmark, result)
+    write_results("BENCH_campaign.json", result, workload_name)
+    assert len(result.rows) == 2  # sequential + 1 worker count
+    assert result.metrics["scenarios"] > 0
+    # Report equality across worker counts is asserted inside the
+    # experiment; throughput is hardware-dependent and recorded, not
+    # asserted.
+    assert result.metrics["scenarios_per_minute"] > 0
+    assert 0.0 <= result.metrics["quarantine_rate"] <= 1.0

@@ -16,10 +16,10 @@ once on the other yields one unchanged and one new/resolved entry.
 from __future__ import annotations
 
 import json
-from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.diffutil import multiset_diff, truncate_ranked
 
 
 def _identity(finding: Finding) -> str:
@@ -64,18 +64,21 @@ class ReportDiff:
     def render(self, max_findings: int | None = None) -> str:
         """Multi-line text diff: new findings first, then resolved."""
         lines: list[str] = []
-        for label, findings in (("+", self.new), ("-", self.resolved)):
+        for label, findings, noun in (
+            ("+", self.new, "new findings"),
+            ("-", self.resolved, "resolved findings"),
+        ):
             ordered = sorted(
                 findings,
                 key=lambda f: (-int(f.severity), f.rule, str(f.prefix)),
             )
-            shown = ordered if max_findings is None else ordered[:max_findings]
-            lines.extend(f"{label} {finding.render()}" for finding in shown)
-            if max_findings is not None and len(ordered) > max_findings:
-                lines.append(
-                    f"... {len(ordered) - max_findings} more "
-                    f"{'new' if label == '+' else 'resolved'} findings omitted"
+            lines.extend(
+                truncate_ranked(
+                    [f"{label} {finding.render()}" for finding in ordered],
+                    max_findings,
+                    noun,
                 )
+            )
         counts = self.counts()
         lines.append(
             f"diff: {counts['new']} new, {counts['resolved']} resolved, "
@@ -86,31 +89,14 @@ class ReportDiff:
 
 def diff_reports(base: AnalysisReport, current: AnalysisReport) -> ReportDiff:
     """Diff two reports into new / resolved / unchanged findings."""
-    base_counts = Counter(_identity(f) for f in base.findings)
-    diff = ReportDiff()
-    remaining = Counter(base_counts)
-    for finding in sorted(
-        current.findings,
-        key=lambda f: (-int(f.severity), f.rule, str(f.prefix), f.message),
-    ):
-        identity = _identity(finding)
-        if remaining.get(identity, 0) > 0:
-            remaining[identity] -= 1
-            diff.unchanged += 1
-        else:
-            diff.new.append(finding)
-    matched = {
-        identity: base_counts[identity] - remaining[identity]
-        for identity in base_counts
-    }
-    consumed: Counter[str] = Counter()
-    for finding in sorted(
-        base.findings,
-        key=lambda f: (-int(f.severity), f.rule, str(f.prefix), f.message),
-    ):
-        identity = _identity(finding)
-        if consumed[identity] < matched.get(identity, 0):
-            consumed[identity] += 1
-            continue
-        diff.resolved.append(finding)
-    return diff
+
+    def order(finding: Finding):
+        return (-int(finding.severity), finding.rule, str(finding.prefix),
+                finding.message)
+
+    new, resolved, unchanged = multiset_diff(
+        sorted(base.findings, key=order),
+        sorted(current.findings, key=order),
+        key=_identity,
+    )
+    return ReportDiff(new=new, resolved=resolved, unchanged=unchanged)

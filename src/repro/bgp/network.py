@@ -148,6 +148,23 @@ class Network:
         origins.append(router.router_id)
         return router.originate(prefix)
 
+    def withdraw(self, router: Router, prefix: Prefix) -> None:
+        """Stop ``router`` originating ``prefix`` (anycast site failure).
+
+        Removes the origination bookkeeping and the router's local route;
+        callers must ``clear_prefix`` + re-simulate for the withdrawal to
+        propagate.  Raises :class:`TopologyError` if the router does not
+        originate the prefix — silently "withdrawing" nothing would mask
+        a scenario-construction bug.
+        """
+        origins = self.originations.get(prefix)
+        if origins is None or router.router_id not in origins:
+            raise TopologyError(f"{router.name} does not originate {prefix}")
+        origins.remove(router.router_id)
+        if not origins:
+            del self.originations[prefix]
+        router.local_routes.pop(prefix, None)
+
     def originators(self, prefix: Prefix) -> list[int]:
         """Router ids originating ``prefix`` (empty list if none)."""
         return self.originations.get(prefix, [])

@@ -1,0 +1,374 @@
+"""The campaign engine: generate → fan out → diff → rank.
+
+``run_campaign`` executes a scenario list against a baseline model.  With
+``workers > 1`` every scenario becomes one generic task of the PR-4
+:class:`~repro.parallel.SupervisedPool` — crash-isolated, watchdogged,
+resubmitted to fresh workers on failure and finally quarantined as
+poison/timeout instead of killing the campaign.  Sequentially, the same
+``scenario.run`` executes in-process on a fresh unpickled copy of the
+network per scenario (identical isolation), so the two paths produce
+bit-identical ranked reports.
+
+A JSON scenario checkpoint (atomic temp + ``os.replace``, fingerprinted
+over the campaign kind, scenario keys and baseline checksum) records
+every finished outcome: the sequential path persists it after each
+scenario and a SIGTERM'd campaign writes it again during the drain, so
+``resume`` skips the completed scenarios on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+import signal
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.campaign.report import STATUS_OK, CampaignReport, ScenarioOutcome
+from repro.campaign.scenarios import CampaignContext
+from repro.core.model import MODEL_DECISION_CONFIG, ASRoutingModel
+from repro.errors import (
+    ArtifactError,
+    CheckpointError,
+    ReproError,
+    ShutdownRequested,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.trace import EVENT_SCENARIO, get_tracer
+from repro.parallel.protocol import dump_network
+from repro.resilience.retry import POISON, RetryPolicy
+from repro.serve.artifact import PredictionArtifact
+
+logger = logging.getLogger(__name__)
+
+CHECKPOINT_FORMAT = "repro/campaign-checkpoint/v1"
+
+
+def context_from_artifact(artifact: PredictionArtifact) -> CampaignContext:
+    """The read-only baseline every scenario diffs against."""
+    return CampaignContext(
+        baseline_paths=dict(artifact.paths),
+        observers=tuple(artifact.observers),
+        excluded=frozenset(artifact.quarantined_origins()),
+        baseline_checksum=artifact.checksum,
+    )
+
+
+def validate_baseline(
+    model: ASRoutingModel, artifact: PredictionArtifact
+) -> None:
+    """Reject a baseline artifact compiled from a different model.
+
+    Origin sets must match exactly and every artifact observer must be a
+    model AS; a mismatched artifact would make every scenario diff
+    garbage, so this raises :class:`~repro.errors.ArtifactError` naming
+    the first discrepancy before any simulation is spent.
+    """
+    model_origins = set(model.prefix_by_origin)
+    artifact_origins = set(artifact.origins)
+    missing = sorted(artifact_origins - model_origins)
+    extra = sorted(model_origins - artifact_origins)
+    if missing:
+        raise ArtifactError(
+            f"baseline artifact covers AS {missing[0]} which the model does "
+            "not originate; the artifact was compiled from a different model"
+        )
+    if extra:
+        raise ArtifactError(
+            f"model originates AS {extra[0]} which the baseline artifact "
+            "lacks; recompile the baseline from this model"
+        )
+    for observer in artifact.observers:
+        if observer not in model.network.ases:
+            raise ArtifactError(
+                f"baseline artifact observer AS {observer} is not in the "
+                "model; the artifact was compiled from a different model"
+            )
+
+
+def campaign_fingerprint(
+    kind: str, keys: Iterable[str], baseline_checksum: str
+) -> str:
+    """Identity of one campaign: kind, scenario space and baseline."""
+    digest = hashlib.sha256()
+    digest.update(kind.encode("ascii"))
+    digest.update(b"\0")
+    digest.update(baseline_checksum.encode("ascii"))
+    for key in sorted(keys):
+        digest.update(b"\0")
+        digest.update(key.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def write_checkpoint(
+    path: str | Path,
+    fingerprint: str,
+    outcomes: dict[str, ScenarioOutcome],
+) -> None:
+    """Atomically persist the finished scenario outcomes."""
+    target = Path(path)
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "fingerprint": fingerprint,
+        "completed": {
+            key: outcomes[key].to_dict() for key in sorted(outcomes)
+        },
+    }
+    temp = target.with_name(target.name + ".tmp")
+    temp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(temp, target)
+
+
+def load_checkpoint(
+    path: str | Path, fingerprint: str
+) -> dict[str, ScenarioOutcome]:
+    """Read a checkpoint back; raises :class:`CheckpointError` loudly.
+
+    A checkpoint whose fingerprint does not match (different scenario
+    space, different baseline) is a hard error, never silently ignored —
+    resuming the wrong campaign would merge incomparable outcomes.
+    """
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text())
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read campaign checkpoint {path}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"campaign checkpoint {path} is corrupt: {error}"
+        ) from error
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path} is not a campaign checkpoint "
+            f"(format {document.get('format')!r})"
+        )
+    if document.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"campaign checkpoint {path} belongs to a different campaign "
+            "(scenario space or baseline changed); delete it or rerun "
+            "without --resume"
+        )
+    try:
+        return {
+            key: ScenarioOutcome.from_dict(value)
+            for key, value in (document.get("completed") or {}).items()
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"campaign checkpoint {path} has a malformed outcome: {error}"
+        ) from error
+
+
+def run_campaign(
+    model: ASRoutingModel,
+    kind: str,
+    scenarios: Sequence[object],
+    context: CampaignContext,
+    retry: RetryPolicy | None = None,
+    parallel=None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+) -> CampaignReport:
+    """Execute every scenario and rank the outcomes by blast radius.
+
+    Raises :class:`~repro.errors.ShutdownRequested` after a graceful
+    SIGINT/SIGTERM drain; the checkpoint (when configured) then holds
+    every finished outcome and the exception's ``pending`` lists the
+    unfinished scenario keys.
+    """
+    policy = retry or RetryPolicy()
+    ordered = sorted(scenarios, key=lambda s: s.key)  # type: ignore[attr-defined]
+    fingerprint = campaign_fingerprint(
+        kind, (s.key for s in ordered), context.baseline_checksum
+    )
+    completed: dict[str, ScenarioOutcome] = {}
+    if resume and checkpoint is not None and Path(checkpoint).exists():
+        completed = load_checkpoint(checkpoint, fingerprint)
+        logger.info(
+            "resuming campaign: %d of %d scenario(s) already complete",
+            len(completed), len(ordered),
+        )
+    todo = [s for s in ordered if s.key not in completed]
+
+    progress = None
+    if checkpoint is not None:
+        def progress() -> None:
+            write_checkpoint(checkpoint, fingerprint, completed)
+
+    started = time.perf_counter()
+    supervision: dict = {}
+    try:
+        if parallel is not None and parallel.enabled and todo:
+            supervision = _run_parallel(
+                model, todo, context, policy, parallel, completed
+            )
+        elif todo:
+            _run_sequential(
+                model, todo, context, policy, completed, progress
+            )
+    except ShutdownRequested:
+        if checkpoint is not None:
+            write_checkpoint(checkpoint, fingerprint, completed)
+        raise
+    if checkpoint is not None:
+        write_checkpoint(checkpoint, fingerprint, completed)
+
+    _emit_observability(completed)
+    report = CampaignReport(
+        kind=kind,
+        baseline_checksum=context.baseline_checksum,
+        outcomes=[completed[key] for key in sorted(completed)],
+    )
+    counts = report.counts()
+    report.meta = {
+        "elapsed_seconds": round(time.perf_counter() - started, 6),
+        "fingerprint": fingerprint,
+        "resumed": len(ordered) - len(todo),
+        "supervision": supervision,
+        **{f"scenarios_{k}": v for k, v in counts.items() if k != "scenarios"},
+    }
+    return report
+
+
+def _run_parallel(
+    model: ASRoutingModel,
+    todo: list,
+    context: CampaignContext,
+    policy: RetryPolicy,
+    parallel,
+    completed: dict[str, ScenarioOutcome],
+) -> dict:
+    """Fan scenarios out as generic tasks of the supervised pool."""
+    from repro.parallel.supervisor import SupervisedPool
+
+    by_key = {scenario.key: scenario for scenario in todo}
+    pool = SupervisedPool(
+        model.network,
+        MODEL_DECISION_CONFIG,
+        policy,
+        parallel,
+        context=context,
+    )
+    try:
+        with pool:
+            stats = pool.run_tasks(todo)
+    except ShutdownRequested as shutdown:
+        partial = shutdown.stats
+        if partial is not None:
+            _fold_generic(partial, by_key, completed)
+        raise
+    _fold_generic(stats, by_key, completed)
+    return stats.supervision
+
+
+def _fold_generic(stats, by_key: dict, completed: dict[str, ScenarioOutcome]) -> None:
+    """Convert the pool's generic results/failures into outcomes."""
+    for key in sorted(stats.results):
+        completed[key] = _ok_outcome(by_key[key], stats.results[key])
+    for key in sorted(stats.failed):
+        failure = stats.failed[key]
+        completed[key] = ScenarioOutcome(
+            key=key,
+            kind=getattr(by_key[key], "kind", key.split(":", 1)[0]),
+            status=failure.status,
+            blast_radius=0.0,
+            failures=tuple(failure.failures),
+        )
+
+
+def _run_sequential(
+    model: ASRoutingModel,
+    todo: list,
+    context: CampaignContext,
+    policy: RetryPolicy,
+    completed: dict[str, ScenarioOutcome],
+    progress=None,
+) -> None:
+    """Run scenarios in-process, one fresh network copy each.
+
+    Uses the same pickled-blob isolation as the pool workers, so the
+    sequential and parallel paths compute identical outcomes.  Honors
+    SIGINT/SIGTERM between scenarios via the same drain contract.
+    ``progress`` (when set) persists the checkpoint after every finished
+    scenario, so even a SIGKILL'd campaign resumes from the last one.
+    """
+    blob = dump_network(model.network)
+    drain = {"signum": None}
+
+    def handle(signum, frame):  # noqa: ARG001 - signal signature
+        drain["signum"] = signum
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handle)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            break
+    try:
+        for index, scenario in enumerate(todo):
+            if drain["signum"] is not None:
+                pending = [s.key for s in todo[index:]]
+                raise ShutdownRequested(drain["signum"], None, pending)
+            network = pickle.loads(blob)
+            try:
+                value = scenario.run(
+                    network, context, MODEL_DECISION_CONFIG, policy
+                )
+            except ReproError as error:
+                # The in-process analogue of a poison task: the scenario
+                # is quarantined with the error recorded, not fatal.
+                completed[scenario.key] = ScenarioOutcome(
+                    key=scenario.key,
+                    kind=getattr(scenario, "kind", "scenario"),
+                    status=POISON,
+                    blast_radius=0.0,
+                    failures=(repr(error),),
+                )
+                if progress is not None:
+                    progress()
+                continue
+            completed[scenario.key] = _ok_outcome(scenario, value)
+            if progress is not None:
+                progress()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _ok_outcome(scenario, value: dict) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        key=scenario.key,
+        kind=value.get("kind", getattr(scenario, "kind", "scenario")),
+        status=STATUS_OK,
+        blast_radius=float(value.get("blast_radius", 0)),
+        detail=value,
+    )
+
+
+def _emit_observability(completed: dict[str, ScenarioOutcome]) -> None:
+    """Campaign metrics and trace events, in key-sorted order."""
+    registry = get_registry()
+    tracer = get_tracer()
+    for key in sorted(completed):
+        outcome = completed[key]
+        if outcome.quarantined:
+            registry.counter("campaign.scenarios_quarantined").inc()
+        else:
+            registry.counter("campaign.scenarios_completed").inc()
+            registry.histogram("campaign.blast_radius").observe(
+                outcome.blast_radius
+            )
+        if tracer.enabled:
+            tracer.event(
+                EVENT_SCENARIO,
+                key=outcome.key,
+                scenario_kind=outcome.kind,
+                status=outcome.status,
+                blast_radius=outcome.blast_radius,
+            )

@@ -1,0 +1,165 @@
+"""The ranked campaign impact report.
+
+A :class:`CampaignReport` orders every scenario by blast radius —
+deterministically: blast radius descending, then scenario key — with the
+quarantined scenarios (poison / repeated timeout in the pool) accounted
+separately, RunHealth-style.  The ranked document itself contains no
+wall-clock or host-specific fields; all of that lives under the separate
+``meta`` key, so two runs of the same campaign (sequential or parallel,
+interrupted-and-resumed or not) produce bit-identical reports once
+``meta`` is set aside.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.diffutil import truncate_ranked
+
+STATUS_OK = "ok"
+"""The scenario simulation completed and was diffed against the baseline."""
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's contribution to the campaign report.
+
+    ``status`` is :data:`STATUS_OK` for completed scenarios and the
+    pool's ``poison`` / ``timeout`` classification for quarantined ones
+    (``detail`` is then empty and ``failures`` lists the per-dispatch
+    failure reasons).
+    """
+
+    key: str
+    kind: str
+    status: str
+    blast_radius: float
+    detail: dict = field(default_factory=dict)
+    failures: tuple[str, ...] = ()
+
+    @property
+    def quarantined(self) -> bool:
+        return self.status != STATUS_OK
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "status": self.status,
+            "blast_radius": self.blast_radius,
+            "detail": self.detail,
+            "failures": list(self.failures),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ScenarioOutcome":
+        return cls(
+            key=str(document["key"]),
+            kind=str(document["kind"]),
+            status=str(document["status"]),
+            blast_radius=float(document["blast_radius"]),
+            detail=dict(document.get("detail") or {}),
+            failures=tuple(document.get("failures") or ()),
+        )
+
+    def summary(self) -> str:
+        """One ranked-report line's tail, per scenario kind."""
+        if self.quarantined:
+            return f"quarantined ({self.status}: {', '.join(self.failures)})"
+        detail = self.detail
+        diff = detail.get("diff")
+        if diff is not None:
+            return (
+                f"changed {len(diff['changed'])}, lost {len(diff['lost'])}, "
+                f"gained {len(diff['gained'])}, "
+                f"diversity {diff['diversity_delta']:+d}"
+            )
+        if "capture_fraction" in detail:
+            return (
+                f"captured {len(detail['captured'])}, "
+                f"partial {len(detail['partial'])}, "
+                f"blackholed {len(detail['blackholed'])}, "
+                f"capture {detail['capture_fraction']:.2f}"
+            )
+        if "shifted" in detail:
+            if detail.get("params", {}).get("failed_site") is None:
+                return f"attraction map over {len(detail['attraction'])} observers"
+            return f"shifted {len(detail['shifted'])} observers"
+        return ""
+
+
+@dataclass
+class CampaignReport:
+    """Every scenario outcome of one campaign, ranked by impact."""
+
+    kind: str
+    baseline_checksum: str = ""
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+    """Wall-clock, supervision summary and the run-metadata stamp — the
+    only non-deterministic part of the report, kept under this one key."""
+
+    def ranked(self) -> list[ScenarioOutcome]:
+        """Completed scenarios by blast radius desc, then key; then
+        quarantined scenarios by key."""
+        completed = sorted(
+            (o for o in self.outcomes if not o.quarantined),
+            key=lambda o: (-o.blast_radius, o.key),
+        )
+        quarantined = sorted(
+            (o for o in self.outcomes if o.quarantined), key=lambda o: o.key
+        )
+        return completed + quarantined
+
+    def counts(self) -> dict[str, int]:
+        quarantined = sum(1 for o in self.outcomes if o.quarantined)
+        return {
+            "scenarios": len(self.outcomes),
+            "completed": len(self.outcomes) - quarantined,
+            "quarantined": quarantined,
+        }
+
+    @property
+    def exit_code(self) -> int:
+        """3 (the quarantine exit code) if any scenario was quarantined."""
+        return 3 if any(o.quarantined for o in self.outcomes) else 0
+
+    def to_dict(self, include_meta: bool = True) -> dict:
+        document = {
+            "kind": self.kind,
+            "baseline": self.baseline_checksum,
+            "counts": self.counts(),
+            "scenarios": [outcome.to_dict() for outcome in self.ranked()],
+        }
+        if include_meta:
+            document["meta"] = self.meta
+        return document
+
+    def to_json(self, indent: int = 2, include_meta: bool = True) -> str:
+        return json.dumps(
+            self.to_dict(include_meta=include_meta),
+            indent=indent,
+            sort_keys=True,
+        )
+
+    def render(self, top: int | None = None) -> str:
+        """The ranked text report, capped at ``top`` scenarios."""
+        counts = self.counts()
+        checksum = (
+            f" vs baseline {self.baseline_checksum[:12]}"
+            if self.baseline_checksum
+            else ""
+        )
+        lines = [
+            f"campaign {self.kind}: {counts['scenarios']} scenario(s), "
+            f"{counts['completed']} completed, "
+            f"{counts['quarantined']} quarantined{checksum}"
+        ]
+        ranked = [
+            f"  {rank:3d}. blast {outcome.blast_radius:g}  {outcome.key}"
+            f"  ({outcome.summary()})"
+            for rank, outcome in enumerate(self.ranked(), start=1)
+        ]
+        lines.extend(truncate_ranked(ranked, top, "scenarios"))
+        return "\n".join(lines)

@@ -1,0 +1,465 @@
+"""Campaign scenario types and scenario-space generators.
+
+A scenario is a small frozen dataclass naming one perturbation of the
+baseline model.  Scenarios are picklable and self-contained: the engine
+fans them out as generic tasks of the PR-4 supervised pool, where each
+``run(network, context, config, policy)`` executes on a *fresh* copy of
+the baseline network (scenarios mutate topology and originations, so
+isolation is mandatory), simulates the perturbed model, and returns a
+plain JSON-ready dict — identical whether the scenario ran in-process
+or inside a crash-isolated worker.
+
+Four scenario spaces (ROADMAP item 5, the paper's Section 1 what-if
+motivation):
+
+* ``depeer`` — remove every session between one AS pair, for every
+  AS-level adjacency (or a filtered subset).
+* ``link-failure`` — the same removal, but only for adjacencies incident
+  to top-degree (or explicitly seeded) ASes: the tier-1 failure sweep.
+* ``hijack`` — re-originate a victim's canonical prefix from a candidate
+  attacker AS and report which observers are captured.
+* ``catchment`` — originate one anycast prefix from k sites and report
+  per-observer site attraction, plus one leave-one-site-out scenario per
+  site ("Inferring Catchment in Internet Routing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.campaign.diffing import Pair, diff_path_maps
+from repro.core.model import ASRoutingModel
+from repro.core.predict import selected_paths
+from repro.core.whatif import validate_session_endpoints
+from repro.errors import TopologyError
+from repro.net.prefix import Prefix
+from repro.resilience.retry import (
+    CONVERGED,
+    TRANSIENT,
+    simulate_network_with_retry,
+    simulate_prefix_with_retry,
+)
+
+KIND_DEPEER = "depeer"
+KIND_LINK_FAILURE = "link-failure"
+KIND_HIJACK = "hijack"
+KIND_CATCHMENT = "catchment"
+CAMPAIGN_KINDS = (KIND_DEPEER, KIND_LINK_FAILURE, KIND_HIJACK, KIND_CATCHMENT)
+
+ANYCAST_BASE = 0xF0000000
+"""First candidate network (240.0.0.0/24) for the synthetic anycast
+prefix — class E space no canonical origin encoding can produce for
+real-world ASNs, scanned upward until free."""
+
+
+@dataclass(frozen=True)
+class CampaignContext:
+    """Read-only baseline shared by every scenario of one campaign.
+
+    Pickled once and shipped to each pool worker at spawn.  ``excluded``
+    origins were quarantined when the baseline artifact was compiled;
+    scenarios ignore their pairs instead of reporting spurious diffs.
+    """
+
+    baseline_paths: dict[Pair, tuple[tuple[int, ...], ...]]
+    observers: tuple[int, ...]
+    excluded: frozenset[int] = frozenset()
+    baseline_checksum: str = ""
+
+
+def _collect_paths(
+    model: ASRoutingModel,
+    observers: Iterable[int],
+    skip_origins: Iterable[int] = (),
+) -> dict[Pair, set[tuple[int, ...]]]:
+    """The scenario-side answer map, via the shared collection kernel."""
+    skip = set(skip_origins)
+    paths: dict[Pair, set[tuple[int, ...]]] = {}
+    for origin in sorted(model.prefix_by_origin):
+        if origin in skip:
+            continue
+        for observer in observers:
+            selected = selected_paths(model, origin, observer)
+            if selected:
+                paths[(origin, observer)] = selected
+    return paths
+
+
+def _paths_for_prefix(network, prefix: Prefix, observer_asn: int) -> set[tuple[int, ...]]:
+    """Full paths ``observer_asn`` currently selects for one prefix."""
+    paths: set[tuple[int, ...]] = set()
+    for router in network.as_routers(observer_asn):
+        best = router.best(prefix)
+        if best is not None:
+            paths.add((observer_asn,) + best.as_path)
+    return paths
+
+
+@dataclass(frozen=True)
+class EdgeFailureScenario:
+    """Remove every session of one AS-level adjacency and re-simulate.
+
+    Backs both the ``depeer`` sweep (every adjacency) and the
+    ``link-failure`` sweep (adjacencies incident to tier-1/top-degree
+    ASes); the mechanics are identical, only the generator differs.
+    """
+
+    asn_a: int
+    asn_b: int
+    kind: str = KIND_DEPEER
+
+    @property
+    def key(self) -> str:
+        return f"{self.kind}:AS{self.asn_a}-AS{self.asn_b}"
+
+    def run(self, network, context: CampaignContext, config, policy) -> dict:
+        model = ASRoutingModel.from_network(network)
+        validate_session_endpoints(model, [(self.asn_a, self.asn_b)])
+        removed = 0
+        for router_a in list(model.quasi_routers(self.asn_a)):
+            for session in list(router_a.sessions_out):
+                if session.dst.asn == self.asn_b:
+                    network.disconnect(router_a, session.dst)
+                    removed += 1
+        model.graph.remove_edge(self.asn_a, self.asn_b)
+
+        stats = simulate_network_with_retry(network, config=config, policy=policy)
+        degraded = sorted(
+            str(prefix)
+            for prefix in (
+                stats.diverged + stats.unsafe + stats.poison + stats.timed_out
+            )
+        )
+        degraded_origins = {
+            model.origin_by_prefix[prefix]
+            for prefix in (
+                stats.diverged + stats.unsafe + stats.poison + stats.timed_out
+            )
+            if prefix in model.origin_by_prefix
+        }
+        current = _collect_paths(
+            model, context.observers, skip_origins=degraded_origins
+        )
+        diff = diff_path_maps(
+            context.baseline_paths,
+            current,
+            exclude_origins=context.excluded | degraded_origins,
+        )
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "params": {"asn_a": self.asn_a, "asn_b": self.asn_b},
+            "removed_sessions": removed,
+            "degraded": degraded,
+            "diff": diff.to_dict(),
+            "blast_radius": diff.blast_radius,
+        }
+
+
+@dataclass(frozen=True)
+class HijackScenario:
+    """Re-originate the victim's canonical prefix from an attacker AS.
+
+    The victim keeps originating (a MOAS conflict, exactly what a prefix
+    hijack looks like); after re-convergence each observer outside the
+    conflict is classified by where its selected paths terminate:
+    *captured* (every path ends at the attacker), *partial* (mixed), or
+    *retained* (still reaches the victim); observers that lose the
+    prefix entirely are *blackholed*.
+    """
+
+    victim: int
+    attacker: int
+
+    @property
+    def key(self) -> str:
+        return f"hijack:AS{self.attacker}->AS{self.victim}"
+
+    def run(self, network, context: CampaignContext, config, policy) -> dict:
+        model = ASRoutingModel.from_network(network)
+        prefix = model.canonical_prefix(self.victim)
+        attacker_routers = model.quasi_routers(self.attacker)
+        if not attacker_routers:
+            raise TopologyError(f"unknown AS {self.attacker}: not in the model")
+        if self.attacker == self.victim:
+            raise TopologyError(
+                f"attacker AS {self.attacker} is the victim itself"
+            )
+        for router in attacker_routers:
+            network.originate(router, prefix)
+        network.clear_prefix(prefix)
+        _, outcome = simulate_prefix_with_retry(network, prefix, config, policy)
+        result = {
+            "kind": KIND_HIJACK,
+            "key": self.key,
+            "params": {"victim": self.victim, "attacker": self.attacker},
+            "status": outcome.status,
+        }
+        if outcome.status not in (CONVERGED, TRANSIENT):
+            # The perturbed simulation itself was quarantined: no capture
+            # claims can be made, the scenario reports itself degraded.
+            result.update(
+                captured=[], partial=[], blackholed=[],
+                observers_examined=0, capture_fraction=0.0, blast_radius=0,
+                degraded=[str(prefix)],
+            )
+            return result
+
+        captured: list[int] = []
+        partial: list[int] = []
+        blackholed: list[int] = []
+        examined = 0
+        for observer in context.observers:
+            if observer in (self.victim, self.attacker):
+                continue
+            paths = _paths_for_prefix(network, prefix, observer)
+            if not paths:
+                if (self.victim, observer) in context.baseline_paths:
+                    blackholed.append(observer)
+                    examined += 1
+                continue
+            examined += 1
+            terminal = {path[-1] for path in paths}
+            if terminal == {self.attacker}:
+                captured.append(observer)
+            elif self.attacker in terminal:
+                partial.append(observer)
+        capture_fraction = (
+            (len(captured) + 0.5 * len(partial)) / examined if examined else 0.0
+        )
+        result.update(
+            captured=captured,
+            partial=partial,
+            blackholed=blackholed,
+            observers_examined=examined,
+            capture_fraction=round(capture_fraction, 6),
+            blast_radius=len(captured) + len(partial) + len(blackholed),
+            degraded=[],
+        )
+        return result
+
+
+@dataclass(frozen=True)
+class CatchmentScenario:
+    """Originate an anycast prefix from k sites; report site attraction.
+
+    With ``failed_site=None`` the scenario reports the baseline
+    catchment: which site(s) each observer's selected paths terminate
+    at.  With a failed site, the site's origination is withdrawn after
+    the first convergence and the prefix re-simulated; the blast radius
+    is the number of observers whose attraction shifted.
+    """
+
+    sites: tuple[int, ...]
+    failed_site: int | None = None
+
+    @property
+    def key(self) -> str:
+        if self.failed_site is None:
+            return "catchment:base"
+        return f"catchment:fail-AS{self.failed_site}"
+
+    def run(self, network, context: CampaignContext, config, policy) -> dict:
+        for site in self.sites:
+            if not network.as_routers(site):
+                raise TopologyError(f"unknown AS {site}: not in the model")
+        prefix = _free_anycast_prefix(network)
+        for site in self.sites:
+            for router in network.as_routers(site):
+                network.originate(router, prefix)
+        _, outcome = simulate_prefix_with_retry(network, prefix, config, policy)
+        result = {
+            "kind": KIND_CATCHMENT,
+            "key": self.key,
+            "params": {
+                "sites": list(self.sites),
+                "failed_site": self.failed_site,
+                "prefix": str(prefix),
+            },
+            "status": outcome.status,
+        }
+        if outcome.status not in (CONVERGED, TRANSIENT):
+            result.update(
+                attraction={}, shifted=[], blast_radius=0,
+                degraded=[str(prefix)],
+            )
+            return result
+        before = self._attraction(network, prefix, context.observers)
+
+        if self.failed_site is None:
+            result.update(
+                attraction={str(obs): sites for obs, sites in before.items()},
+                shifted=[],
+                blast_radius=0,
+                degraded=[],
+            )
+            return result
+
+        for router in network.as_routers(self.failed_site):
+            network.withdraw(router, prefix)
+        network.clear_prefix(prefix)
+        _, outcome = simulate_prefix_with_retry(network, prefix, config, policy)
+        result["status"] = outcome.status
+        if outcome.status not in (CONVERGED, TRANSIENT):
+            result.update(
+                attraction={}, shifted=[], blast_radius=0,
+                degraded=[str(prefix)],
+            )
+            return result
+        after = self._attraction(network, prefix, context.observers)
+        shifted = sorted(
+            observer
+            for observer in set(before) | set(after)
+            if before.get(observer) != after.get(observer)
+        )
+        result.update(
+            attraction={str(obs): sites for obs, sites in after.items()},
+            shifted=shifted,
+            blast_radius=len(shifted),
+            degraded=[],
+        )
+        return result
+
+    def _attraction(
+        self, network, prefix: Prefix, observers: Iterable[int]
+    ) -> dict[int, list[int]]:
+        """Which site(s) each non-site observer's paths terminate at."""
+        site_set = set(self.sites)
+        attraction: dict[int, list[int]] = {}
+        for observer in observers:
+            if observer in site_set:
+                continue
+            paths = _paths_for_prefix(network, prefix, observer)
+            sites = sorted({path[-1] for path in paths})
+            if sites:
+                attraction[observer] = sites
+        return attraction
+
+
+def _free_anycast_prefix(network) -> Prefix:
+    """A deterministic /24 no router currently originates."""
+    taken = set(network.originations)
+    for index in range(4096):
+        candidate = Prefix(ANYCAST_BASE + (index << 8), 24)
+        if candidate not in taken:
+            return candidate
+    raise TopologyError("no free anycast prefix in the scan window")
+
+
+# ----------------------------------------------------------------------
+# Scenario-space generators
+# ----------------------------------------------------------------------
+
+
+def generate_depeer(
+    model: ASRoutingModel, ases: Iterable[int] | None = None
+) -> list[EdgeFailureScenario]:
+    """One depeer scenario per AS-level adjacency (optionally filtered).
+
+    ``ases`` restricts the sweep to adjacencies incident to at least one
+    of the named ASes; unknown ASNs raise up front, same contract as
+    ``whatif``.
+    """
+    wanted = None
+    if ases is not None:
+        wanted = set(ases)
+        for asn in sorted(wanted):
+            if asn not in model.network.ases:
+                raise TopologyError(f"unknown AS {asn}: not in the model")
+    scenarios = []
+    for asn_a, asn_b in sorted(model.graph.edges()):
+        if wanted is not None and asn_a not in wanted and asn_b not in wanted:
+            continue
+        scenarios.append(EdgeFailureScenario(asn_a, asn_b, KIND_DEPEER))
+    return scenarios
+
+
+def generate_link_failure(
+    model: ASRoutingModel,
+    top_degree: int = 3,
+    seeds: Iterable[int] | None = None,
+) -> list[EdgeFailureScenario]:
+    """Adjacency failures incident to tier-1-like ASes.
+
+    ``seeds`` names the target ASes explicitly; otherwise the
+    ``top_degree`` highest-degree ASes of the graph are used (ties broken
+    by lower ASN, so the sweep is deterministic).
+    """
+    if seeds is not None:
+        targets = set(seeds)
+        for asn in sorted(targets):
+            if asn not in model.network.ases:
+                raise TopologyError(f"unknown AS {asn}: not in the model")
+    else:
+        ranked = sorted(
+            model.network.ases, key=lambda asn: (-model.graph.degree(asn), asn)
+        )
+        targets = set(ranked[: max(0, top_degree)])
+    scenarios = []
+    for asn_a, asn_b in sorted(model.graph.edges()):
+        if asn_a in targets or asn_b in targets:
+            scenarios.append(
+                EdgeFailureScenario(asn_a, asn_b, KIND_LINK_FAILURE)
+            )
+    return scenarios
+
+
+def generate_hijack(
+    model: ASRoutingModel,
+    victim: int,
+    attackers: Iterable[int] | None = None,
+) -> list[HijackScenario]:
+    """One hijack scenario per candidate attacker AS.
+
+    The victim must originate a canonical prefix; attackers default to
+    every other AS in the model.
+    """
+    model.canonical_prefix(victim)  # raises TopologyError for unknown victims
+    if attackers is not None:
+        candidates = sorted(set(attackers))
+        for asn in candidates:
+            if asn not in model.network.ases:
+                raise TopologyError(f"unknown AS {asn}: not in the model")
+        if victim in candidates:
+            raise TopologyError(
+                f"attacker AS {victim} is the victim itself"
+            )
+    else:
+        candidates = sorted(asn for asn in model.network.ases if asn != victim)
+    return [HijackScenario(victim, attacker) for attacker in candidates]
+
+
+def generate_catchment(
+    model: ASRoutingModel, sites: Iterable[int]
+) -> list[CatchmentScenario]:
+    """The base catchment scenario plus one site-failure scenario per site."""
+    site_tuple = tuple(sorted(set(sites)))
+    if len(site_tuple) < 2:
+        raise TopologyError(
+            "catchment needs at least 2 distinct anycast sites"
+        )
+    for site in site_tuple:
+        if site not in model.network.ases:
+            raise TopologyError(f"unknown AS {site}: not in the model")
+    scenarios: list[CatchmentScenario] = [CatchmentScenario(site_tuple, None)]
+    scenarios.extend(CatchmentScenario(site_tuple, site) for site in site_tuple)
+    return scenarios
+
+
+__all__ = [
+    "ANYCAST_BASE",
+    "CAMPAIGN_KINDS",
+    "CampaignContext",
+    "CatchmentScenario",
+    "EdgeFailureScenario",
+    "HijackScenario",
+    "KIND_CATCHMENT",
+    "KIND_DEPEER",
+    "KIND_HIJACK",
+    "KIND_LINK_FAILURE",
+    "generate_catchment",
+    "generate_depeer",
+    "generate_hijack",
+    "generate_link_failure",
+]

@@ -462,6 +462,68 @@ def build_parser() -> argparse.ArgumentParser:
     bench_diff.add_argument("--json", action="store_true", dest="as_json",
                             help="emit the comparison as JSON instead of text")
     bench_diff.set_defaults(handler=cmd_bench_diff)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="sweep a scenario space (depeer / link-failure / hijack / "
+             "catchment) and rank scenarios by blast radius",
+    )
+    campaign.add_argument(
+        "kind", choices=["depeer", "link-failure", "hijack", "catchment"],
+        help="which scenario space to sweep")
+    campaign.add_argument(
+        "model", help="model config written by 'repro refine --out'")
+    campaign.add_argument(
+        "--baseline", metavar="ARTIFACT",
+        help="baseline prediction artifact to diff against "
+             "(default: compile one in-process)")
+    campaign.add_argument(
+        "--ases", type=int, nargs="*", metavar="ASN",
+        help="depeer: only adjacencies incident to these ASes")
+    campaign.add_argument(
+        "--top-degree", type=int, default=3,
+        help="link-failure: target the K highest-degree ASes")
+    campaign.add_argument(
+        "--seeds", type=int, nargs="*", metavar="ASN",
+        help="link-failure: explicit target ASes instead of --top-degree")
+    campaign.add_argument(
+        "--victim", type=int, metavar="ASN",
+        help="hijack: the AS whose canonical prefix is re-originated")
+    campaign.add_argument(
+        "--attackers", type=int, nargs="*", metavar="ASN",
+        help="hijack: candidate attacker ASes (default: every other AS)")
+    campaign.add_argument(
+        "--sites", type=int, nargs="*", metavar="ASN",
+        help="catchment: anycast site ASes (at least 2)")
+    campaign.add_argument(
+        "--max-scenarios", type=int, metavar="N",
+        help="cap the scenario space at the first N scenarios (key order); "
+             "the dropped tail is reported, never silent")
+    campaign.add_argument(
+        "--top", type=int, default=10,
+        help="ranked scenarios to print (0 = all)")
+    campaign.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the ranked report as JSON instead of text")
+    campaign.add_argument(
+        "--report", metavar="PATH",
+        help="also write the full JSON report to this file")
+    campaign.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="scenario checkpoint file (written on completion and during "
+             "a signal-driven drain)")
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios already recorded in --checkpoint")
+    campaign.add_argument(
+        "--retry-attempts", type=int, default=3,
+        help="budget-escalation attempts before a diverging prefix is "
+             "quarantined inside a scenario")
+    campaign.add_argument(
+        "--trace", metavar="PATH",
+        help="write campaign and supervision trace events as JSON lines")
+    _add_parallel_arguments(campaign)
+    campaign.set_defaults(handler=cmd_campaign)
     return parser
 
 
@@ -1156,13 +1218,10 @@ def cmd_whatif(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_DATA
     asn_a, asn_b = args.remove
-    # Validate up front: an ASN outside the model is a usage error named
-    # to the caller, never a silent "no paths changed" report.
-    for asn in (asn_a, asn_b):
-        if asn not in model.network.ases:
-            print(f"error: AS {asn} is not in the model", file=sys.stderr)
-            return 2
     try:
+        # The library validates both endpoints up front: an ASN outside
+        # the model is a usage error named to the caller before any
+        # simulation, never a silent "no paths changed" report.
         report = depeer(model, asn_a, asn_b)
     except TopologyError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1458,6 +1517,152 @@ def cmd_bench_diff(args) -> int:
     else:
         print(diff.render())
     return diff.exit_code
+
+
+def _generate_campaign(args, model):
+    """The scenario list for one ``repro campaign`` invocation.
+
+    Raises :class:`~repro.errors.TopologyError` (usage, exit 2) for
+    unknown ASNs or missing required per-kind flags.
+    """
+    from repro.campaign import (
+        generate_catchment,
+        generate_depeer,
+        generate_hijack,
+        generate_link_failure,
+    )
+
+    if args.kind == "depeer":
+        return generate_depeer(model, ases=args.ases or None)
+    if args.kind == "link-failure":
+        return generate_link_failure(
+            model, top_degree=args.top_degree, seeds=args.seeds or None
+        )
+    if args.kind == "hijack":
+        if args.victim is None:
+            raise TopologyError("hijack campaigns require --victim ASN")
+        return generate_hijack(
+            model, victim=args.victim, attackers=args.attackers or None
+        )
+    if not args.sites or len(args.sites) < 2:
+        raise TopologyError(
+            "catchment campaigns require --sites with at least 2 ASNs"
+        )
+    return generate_catchment(model, args.sites)
+
+
+def cmd_campaign(args) -> int:
+    """Handle ``repro campaign``."""
+    import json
+
+    from repro.campaign import (
+        context_from_artifact,
+        run_campaign,
+        validate_baseline,
+    )
+    from repro.errors import ArtifactError, CheckpointError
+    from repro.serve import PredictionArtifact
+
+    try:
+        model = _load_model(args.model)
+    except (OSError, ParseError, TopologyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_DATA
+    get_registry().reset()
+    retry = RetryPolicy(max_attempts=max(1, args.retry_attempts))
+    if args.baseline:
+        try:
+            artifact = PredictionArtifact.load(args.baseline)
+            validate_baseline(model, artifact)
+        except ArtifactError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_DATA
+    else:
+        from repro.serve import compile_artifact
+
+        print("no --baseline given; compiling one in-process",
+              file=sys.stderr)
+        try:
+            artifact, _ = compile_artifact(model, retry=retry)
+        except ShutdownRequested as shutdown:
+            print(
+                f"interrupted by signal {shutdown.signum} while compiling "
+                "the baseline; nothing to resume", file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+        # Scenario workers and the baseline must not share routing state:
+        # scenarios re-simulate from a cold network.
+        model.network.clear_routing()
+
+    try:
+        scenarios = _generate_campaign(args, model)
+    except TopologyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scenarios.sort(key=lambda scenario: scenario.key)
+    dropped = 0
+    if args.max_scenarios is not None and len(scenarios) > args.max_scenarios:
+        dropped = len(scenarios) - args.max_scenarios
+        scenarios = scenarios[: args.max_scenarios]
+        print(
+            f"scenario space capped at {args.max_scenarios}: "
+            f"{dropped} scenario(s) dropped by --max-scenarios",
+            file=sys.stderr,
+        )
+    if not scenarios:
+        print("error: the scenario space is empty", file=sys.stderr)
+        return 2
+
+    context = context_from_artifact(artifact)
+
+    def execute() -> int:
+        try:
+            report = run_campaign(
+                model,
+                args.kind,
+                scenarios,
+                context,
+                retry=retry,
+                parallel=_parallel_config(args),
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_DATA
+        except ShutdownRequested as shutdown:
+            where = (
+                f"; checkpoint written to {args.checkpoint}"
+                if args.checkpoint else " (no --checkpoint, progress lost)"
+            )
+            print(
+                f"interrupted by signal {shutdown.signum}: "
+                f"{len(shutdown.pending)} scenario(s) unfinished{where}",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+        report.meta.update(
+            run_metadata(argv=getattr(args, "invocation", None))
+        )
+        if dropped:
+            report.meta["scenarios_dropped"] = dropped
+        if args.report:
+            with open(args.report, "w", encoding="ascii") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"wrote report to {args.report}", file=sys.stderr)
+        if args.as_json:
+            print(report.to_json())
+        else:
+            print(report.render(top=args.top if args.top > 0 else None))
+        return report.exit_code
+
+    if args.trace:
+        with tracing(JsonlTracer(args.trace)) as tracer:
+            code = execute()
+        print(f"wrote {tracer.records_written} trace records to {args.trace}",
+              file=sys.stderr)
+        return code
+    return execute()
 
 
 if __name__ == "__main__":

@@ -81,13 +81,40 @@ def depeer(
     return simulate_link_failure(model, [(asn_a, asn_b)], origins, observers)
 
 
+def validate_session_endpoints(
+    model: ASRoutingModel, as_edges: Iterable[tuple[int, int]]
+) -> None:
+    """Check every edge's endpoints and adjacency *before* simulating.
+
+    Raises :class:`~repro.errors.TopologyError` naming the first unknown
+    ASN (the same up-front contract ``query``/``predict_paths`` honour),
+    or the first pair with no adjacency.  Callers get the error before
+    any simulation work is spent.
+    """
+    known = model.network.ases
+    for asn_a, asn_b in as_edges:
+        for asn in (asn_a, asn_b):
+            if asn not in known:
+                raise TopologyError(f"unknown AS {asn}: not in the model")
+        if not model.graph.has_edge(asn_a, asn_b):
+            raise TopologyError(
+                f"no adjacency between AS {asn_a} and AS {asn_b}"
+            )
+
+
 def simulate_link_failure(
     model: ASRoutingModel,
     as_edges: list[tuple[int, int]],
     origins: Iterable[int] | None = None,
     observers: Iterable[int] | None = None,
 ) -> WhatIfReport:
-    """Remove several AS-level adjacencies at once and report path changes."""
+    """Remove several AS-level adjacencies at once and report path changes.
+
+    Endpoints are validated up front (:func:`validate_session_endpoints`):
+    an unknown ASN or missing adjacency raises before any simulation
+    instead of failing mid-run.
+    """
+    validate_session_endpoints(model, as_edges)
     origin_list = sorted(origins) if origins is not None else sorted(
         model.prefix_by_origin
     )
@@ -100,8 +127,6 @@ def simulate_link_failure(
 
     removed_sessions = 0
     for asn_a, asn_b in as_edges:
-        if not model.graph.has_edge(asn_a, asn_b):
-            raise TopologyError(f"no adjacency between AS {asn_a} and AS {asn_b}")
         for router_a in list(model.quasi_routers(asn_a)):
             for session in list(router_a.sessions_out):
                 if session.dst.asn == asn_b:

@@ -17,6 +17,7 @@ from repro.experiments.workloads import (
 )
 from repro.experiments.report import ExperimentResult, format_table
 from repro.experiments import (
+    campaigns,
     chaos,
     deflection,
     fig2,
@@ -53,6 +54,7 @@ __all__ = [
     "table4",
     "table5",
     "ablations",
+    "campaigns",
     "parallelism",
     "chaos",
     "obs",

@@ -78,6 +78,9 @@ EVENT_POISON_PREFIX = "poison-prefix"
 EVENT_DRAIN = "drain"
 """SIGINT/SIGTERM received: the supervisor is draining gracefully."""
 
+EVENT_SCENARIO = "campaign-scenario"
+"""A campaign scenario finished (or was quarantined) with its impact."""
+
 
 class Tracer:
     """Base tracer: span bookkeeping plus the record sink interface.

@@ -19,11 +19,32 @@ supervision tests use to produce deterministic worker kills and hangs.
 
 from __future__ import annotations
 
+import pickle
+import sys
 from dataclasses import dataclass, field
 
 from repro.bgp.network import Network
 from repro.bgp.route import Route
 from repro.net.prefix import Prefix
+
+
+def dump_network(network: Network) -> bytes:
+    """Pickle a network, with headroom for deep router/session graphs.
+
+    Pickling walks the router ↔ session object graph depth-first, so the
+    recursion depth grows with topology size, not nesting; a refined
+    model with thousands of quasi-router sessions blows the interpreter's
+    default 1000-frame limit.  The limit is raised (never lowered) around
+    the dump and restored afterwards.  Unpickling is iterative and needs
+    no such headroom.
+    """
+    headroom = 4096 + 2 * len(network.routers) + len(network.sessions) // 2
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous, headroom))
+    try:
+        return pickle.dumps(network)
+    finally:
+        sys.setrecursionlimit(previous)
 
 # Parent -> worker
 MSG_TASK = "task"
@@ -47,10 +68,11 @@ the process disappears without sending anything)."""
 class WorkerFaults:
     """Deterministic worker sabotage for chaos runs and supervision tests.
 
-    ``crash_prefixes`` name prefixes (as strings) whose task makes the
-    worker ``os._exit`` immediately — indistinguishable from a segfault
-    or OOM kill from the supervisor's side.  ``hang_prefixes`` make the
-    worker sleep ``hang_seconds`` instead of simulating, so the per-task
+    ``crash_prefixes`` name tasks (prefixes as strings, or generic task
+    keys such as scenario keys) whose dispatch makes the worker
+    ``os._exit`` immediately — indistinguishable from a segfault or OOM
+    kill from the supervisor's side.  ``hang_prefixes`` make the worker
+    sleep ``hang_seconds`` instead of simulating, so the per-task
     watchdog must fire.  Both are checked by string to keep the config
     trivially serialisable.
     """
@@ -144,3 +166,35 @@ class TaskResult:
     stats: object  # EngineStats
     state: PrefixState
     metrics: dict = field(default_factory=dict)
+
+
+@dataclass
+class GenericTaskResult:
+    """What a worker reports back for one completed *generic* task.
+
+    Generic tasks (scenario simulations, not per-prefix slices) return an
+    opaque picklable ``value`` instead of a RIB slice; the supervisor
+    hands values back to the caller keyed by the task's ``key`` and folds
+    ``metrics`` into the parent registry in key-sorted order.
+    """
+
+    key: str
+    value: object
+    metrics: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A generic task the pool gave up on (poison or repeated timeout).
+
+    The generic-task analogue of
+    :meth:`~repro.resilience.retry.PrefixOutcome.supervised_failure`:
+    ``status`` is ``poison`` or ``timeout``, ``failures`` the per-dispatch
+    failure reasons, ``elapsed`` wall-clock since the first dispatch.
+    """
+
+    key: str
+    status: str
+    resubmits: int
+    elapsed: float
+    failures: tuple[str, ...] = ()

@@ -60,9 +60,10 @@ from repro.parallel.protocol import (
     MSG_RESULT,
     MSG_SHUTDOWN,
     MSG_TASK,
-    TaskResult,
+    TaskFailure,
     WorkerFaults,
     apply_prefix_state,
+    dump_network,
 )
 from repro.parallel.worker import worker_main
 from repro.resilience.retry import (
@@ -196,12 +197,45 @@ class ParallelConfig:
 
 @dataclass
 class _Task:
-    """Supervisor-side bookkeeping for one prefix."""
+    """Supervisor-side bookkeeping for one task (prefix or generic).
+
+    ``key`` is the human-readable task identity used in logs, trace
+    events and fault injection; for prefix tasks it is ``str(prefix)``,
+    for generic tasks the payload's own ``key``.  Task ids are assigned
+    in sorted order (prefix order / key order), so sorting by id
+    reproduces the deterministic merge order.
+    """
 
     task_id: int
-    prefix: Prefix
+    key: str
+    payload: object
     failures: list[str] = field(default_factory=list)
     first_dispatched: float | None = None
+
+
+@dataclass(frozen=True)
+class _Failure:
+    """A task the pool gave up on, before caller-specific conversion."""
+
+    status: str
+    resubmits: int
+    elapsed: float
+
+
+@dataclass
+class GenericRunStats:
+    """What :meth:`SupervisedPool.run_tasks` hands back.
+
+    ``results`` maps each completed task's key to the value its ``run``
+    returned; ``failed`` maps quarantined keys to their
+    :class:`~repro.parallel.protocol.TaskFailure`; ``supervision`` is the
+    same ledger summary :class:`~repro.resilience.retry.ResilienceStats`
+    carries for prefix runs.
+    """
+
+    results: dict[str, object] = field(default_factory=dict)
+    failed: dict[str, TaskFailure] = field(default_factory=dict)
+    supervision: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -232,6 +266,7 @@ class SupervisedPool:
         config: DecisionConfig = DecisionConfig(),
         policy: RetryPolicy = RetryPolicy(),
         parallel: ParallelConfig = ParallelConfig(),
+        context: object | None = None,
     ) -> None:
         if parallel.workers < 2:
             raise ValueError(
@@ -249,7 +284,10 @@ class SupervisedPool:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = get_context(start_method)
-        self._blob = pickle.dumps(network)
+        self._blob = dump_network(network)
+        self._context_blob = (
+            pickle.dumps(context) if context is not None else None
+        )
         self._workers: list[_Worker | None] = [None] * parallel.workers
         self._ledger = SupervisionLedger("parallel", parallel.workers)
         self._timeouts = 0
@@ -277,12 +315,72 @@ class SupervisedPool:
             sorted(prefixes) if prefixes is not None else self.network.prefixes()
         )
         tasks = {
-            task_id: _Task(task_id, prefix)
+            task_id: _Task(task_id, str(prefix), prefix)
             for task_id, prefix in enumerate(targets)
         }
+        results, failed = self._run_loop(tasks)
+
+        stats = self._merge(tasks, results, failed)
+        if self._drain_signum is not None:
+            unfinished = sorted(
+                task.payload
+                for task in tasks.values()
+                if task.task_id not in results and task.task_id not in failed
+            )
+            raise ShutdownRequested(self._drain_signum, stats, unfinished)
+        return stats
+
+    def run_tasks(self, items: Iterable[object]) -> GenericRunStats:
+        """Run generic tasks (``.key`` + ``.run(...)``) through the pool.
+
+        Each item executes crash-isolated on a fresh copy of the network
+        inside a worker; per-task metrics are folded into the parent
+        registry in key-sorted order, so the outcome is deterministic
+        regardless of completion order.  Raises
+        :class:`~repro.errors.ShutdownRequested` after a graceful drain
+        with the partial :class:`GenericRunStats` attached and the
+        unfinished keys as ``pending``.
+        """
+        ordered = sorted(items, key=lambda item: item.key)  # type: ignore[attr-defined]
+        tasks = {
+            task_id: _Task(task_id, item.key, item)  # type: ignore[attr-defined]
+            for task_id, item in enumerate(ordered)
+        }
+        results, failed = self._run_loop(tasks)
+
+        stats = GenericRunStats()
+        registry = get_registry()
+        for task_id in sorted(results):
+            result = results[task_id]
+            registry.merge_raw(result.metrics)
+            stats.results[tasks[task_id].key] = result.value
+        for task_id in sorted(failed):
+            task = tasks[task_id]
+            record = failed[task_id]
+            stats.failed[task.key] = TaskFailure(
+                key=task.key,
+                status=record.status,
+                resubmits=record.resubmits,
+                elapsed=record.elapsed,
+                failures=tuple(task.failures),
+            )
+        stats.supervision = self._supervision_summary()
+        if self._drain_signum is not None:
+            unfinished = sorted(
+                task.key
+                for task in tasks.values()
+                if task.task_id not in results and task.task_id not in failed
+            )
+            raise ShutdownRequested(self._drain_signum, stats, unfinished)
+        return stats
+
+    def _run_loop(
+        self, tasks: dict[int, _Task]
+    ) -> tuple[dict[int, object], dict[int, _Failure]]:
+        """Drive the shared dispatch/pump/watchdog loop to completion."""
         pending: deque[int] = deque(sorted(tasks))
-        results: dict[Prefix, TaskResult] = {}
-        failed: dict[Prefix, PrefixOutcome] = {}
+        results: dict[int, object] = {}
+        failed: dict[int, _Failure] = {}
 
         previous_handlers = self._install_signal_handlers()
         drain_announced = False
@@ -311,16 +409,7 @@ class SupervisedPool:
         finally:
             self._restore_signal_handlers(previous_handlers)
             self.close()
-
-        stats = self._merge(results, failed)
-        if self._drain_signum is not None:
-            unfinished = sorted(
-                task.prefix
-                for task in tasks.values()
-                if task.prefix not in results and task.prefix not in failed
-            )
-            raise ShutdownRequested(self._drain_signum, stats, unfinished)
-        return stats
+        return results, failed
 
     def close(self) -> None:
         """Tear down every worker (idempotent)."""
@@ -360,6 +449,7 @@ class SupervisedPool:
                 self.policy,
                 self.parallel.faults,
                 self.parallel.heartbeat_interval,
+                self._context_blob,
             ),
             name=f"repro-sim-worker-{index}",
             daemon=True,
@@ -391,7 +481,7 @@ class SupervisedPool:
         reason: str,
         tasks: dict[int, _Task],
         pending: deque[int],
-        failed: dict[Prefix, PrefixOutcome],
+        failed: dict[int, _Failure],
     ) -> None:
         """Handle a dead/hung worker: charge its task, kill, restart."""
         self._ledger.record_death(
@@ -399,7 +489,7 @@ class SupervisedPool:
             worker.pid,
             worker.generation,
             reason,
-            task=str(tasks[worker.task_id].prefix)
+            task=tasks[worker.task_id].key
             if worker.task_id is not None
             else None,
         )
@@ -415,9 +505,9 @@ class SupervisedPool:
         task: _Task,
         reason: str,
         pending: deque[int],
-        failed: dict[Prefix, PrefixOutcome],
+        failed: dict[int, _Failure],
     ) -> None:
-        """Record one failed dispatch; resubmit or classify the prefix."""
+        """Record one failed dispatch; resubmit or classify the task."""
         task.failures.append(reason)
         registry = get_registry()
         tracer = get_tracer()
@@ -428,13 +518,13 @@ class SupervisedPool:
             if tracer.enabled:
                 tracer.event(
                     EVENT_TASK_RESUBMIT,
-                    prefix=str(task.prefix),
+                    prefix=task.key,
                     resubmit=resubmits_used + 1,
                     reason=reason,
                 )
             logger.warning(
                 "resubmitting %s after %s (attempt %d of %d)",
-                task.prefix, reason, resubmits_used + 2,
+                task.key, reason, resubmits_used + 2,
                 self.parallel.max_resubmits + 1,
             )
             pending.appendleft(task.task_id)
@@ -449,21 +539,18 @@ class SupervisedPool:
             if task.first_dispatched is not None
             else 0.0
         )
-        outcome = PrefixOutcome.supervised_failure(
-            task.prefix, status, resubmits_used, elapsed
-        )
-        failed[task.prefix] = outcome
+        failed[task.task_id] = _Failure(status, resubmits_used, elapsed)
         registry.counter(f"parallel.{status}_prefixes").inc()
         if tracer.enabled:
             tracer.event(
                 EVENT_POISON_PREFIX,
-                prefix=str(task.prefix),
+                prefix=task.key,
                 status=status,
                 failures=list(task.failures),
             )
         logger.error(
             "classified %s as %s after %d failed dispatch(es): %s",
-            task.prefix, status, len(task.failures), ", ".join(task.failures),
+            task.key, status, len(task.failures), ", ".join(task.failures),
         )
 
     # ------------------------------------------------------------------
@@ -484,7 +571,7 @@ class SupervisedPool:
             if task.first_dispatched is None:
                 task.first_dispatched = worker.dispatched_at
             try:
-                worker.conn.send((MSG_TASK, task_id, task.prefix))
+                worker.conn.send((MSG_TASK, task_id, task.payload))
             except (BrokenPipeError, OSError):
                 # Worker died before the dispatch committed: the task never
                 # started, so it goes back unpunished and the death is
@@ -497,8 +584,8 @@ class SupervisedPool:
         self,
         tasks: dict[int, _Task],
         pending: deque[int],
-        results: dict[Prefix, TaskResult],
-        failed: dict[Prefix, PrefixOutcome],
+        results: dict[int, object],
+        failed: dict[int, _Failure],
     ) -> None:
         """Receive everything the workers sent, blocking at most one tick."""
         conns = {w.conn: w for w in self._live_workers()}
@@ -528,8 +615,8 @@ class SupervisedPool:
         message: tuple,
         tasks: dict[int, _Task],
         pending: deque[int],
-        failed: dict[Prefix, PrefixOutcome],
-        results: dict[Prefix, TaskResult],
+        failed: dict[int, _Failure],
+        results: dict[int, object],
     ) -> None:
         worker.last_beat = time.monotonic()
         kind = message[0]
@@ -540,8 +627,7 @@ class SupervisedPool:
             if worker.task_id != task_id:  # stale double-send; ignore
                 return
             worker.task_id = None
-            task = tasks[task_id]
-            results[task.prefix] = result
+            results[task_id] = result
             registry = get_registry()
             registry.counter("parallel.tasks_completed").inc()
             registry.histogram("parallel.task_seconds").observe(
@@ -556,7 +642,7 @@ class SupervisedPool:
             get_registry().counter("parallel.task_errors").inc()
             logger.warning(
                 "task %s failed in worker %d: %s",
-                tasks[task_id].prefix, worker.index, detail,
+                tasks[task_id].key, worker.index, detail,
             )
             self._charge_task_failure(tasks[task_id], FAIL_ERROR, pending, failed)
 
@@ -564,8 +650,8 @@ class SupervisedPool:
         self,
         tasks: dict[int, _Task],
         pending: deque[int],
-        results: dict[Prefix, TaskResult],
-        failed: dict[Prefix, PrefixOutcome],
+        results: dict[int, object],
+        failed: dict[int, _Failure],
     ) -> None:
         """Kill workers that died, went silent, or blew the task deadline."""
         now = time.monotonic()
@@ -585,7 +671,7 @@ class SupervisedPool:
                 if tracer.enabled:
                     tracer.event(
                         EVENT_TASK_TIMEOUT,
-                        prefix=str(tasks[worker.task_id].prefix),
+                        prefix=tasks[worker.task_id].key,
                         worker=worker.index,
                         timeout=self.parallel.task_timeout,
                     )
@@ -636,30 +722,43 @@ class SupervisedPool:
 
     def _merge(
         self,
-        results: dict[Prefix, TaskResult],
-        failed: dict[Prefix, PrefixOutcome],
+        tasks: dict[int, _Task],
+        results: dict[int, object],
+        failed: dict[int, _Failure],
     ) -> ResilienceStats:
-        """Reduce worker results deterministically (prefix-sorted)."""
+        """Reduce worker results deterministically (prefix-sorted).
+
+        Task ids were assigned in sorted-prefix order, so iterating by id
+        reproduces the prefix-sorted merge order bit-for-bit.
+        """
         stats = ResilienceStats()
         registry = get_registry()
-        for prefix in sorted(results):
-            result = results[prefix]
+        for task_id in sorted(results):
+            result = results[task_id]
             apply_prefix_state(self.network, result.state)
             stats.engine.merge(result.stats)
             registry.merge_raw(result.metrics)
             stats.outcomes.append(result.outcome)
-        for prefix in sorted(failed):
+        for task_id in sorted(failed):
+            task = tasks[task_id]
+            record = failed[task_id]
+            outcome = PrefixOutcome.supervised_failure(
+                task.payload, record.status, record.resubmits, record.elapsed
+            )
             # Quarantine: a poison/timeout prefix carries no routes.
-            self.network.clear_prefix(prefix)
-            stats.outcomes.append(failed[prefix])
+            self.network.clear_prefix(task.payload)
+            stats.outcomes.append(outcome)
         stats.outcomes.sort(key=lambda o: o.prefix)
-        stats.supervision = {
+        stats.supervision = self._supervision_summary()
+        return stats
+
+    def _supervision_summary(self) -> dict:
+        return {
             **self._ledger.summary(),
             "task_timeouts": self._timeouts,
             "resubmits": self._resubmits,
             "drained": self._drain_signum is not None,
         }
-        return stats
 
 
 def simulate_network_supervised(

@@ -5,6 +5,13 @@ then loops: receive a prefix task, run the escalating-budget retry
 simulation on the private copy, capture the prefix's converged RIB slice,
 and send it back with the outcome, engine stats and a raw metrics dump.
 
+Generic tasks (campaign scenarios) take the other branch: the payload is
+an object with a ``key`` and a ``run(network, context, config, policy)``
+method, executed on a *fresh* unpickled network copy per task — scenario
+simulations mutate topology, and isolation beats the cost of unpickling.
+The shared ``context`` (e.g. baseline paths) is unpickled once at
+startup and treated as read-only.
+
 A daemon thread heartbeats over the same connection while the main thread
 simulates, so the supervisor can tell a *busy* worker from a *wedged* one.
 All sends share one lock (``multiprocessing`` connections are not
@@ -27,10 +34,12 @@ import signal
 import threading
 import time
 
+from repro.net.prefix import Prefix
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.trace import set_tracer
 from repro.parallel.protocol import (
     CRASH_EXIT_CODE,
+    GenericTaskResult,
     MSG_ERROR,
     MSG_HEARTBEAT,
     MSG_READY,
@@ -51,6 +60,7 @@ def worker_main(
     retry_policy,
     faults: WorkerFaults | None,
     heartbeat_interval: float,
+    context_blob: bytes | None = None,
 ) -> None:
     """Run the worker loop on ``conn`` until shutdown or EOF."""
     # The supervisor coordinates interruption: a terminal Ctrl-C reaches
@@ -65,6 +75,7 @@ def worker_main(
     set_registry(MetricsRegistry())
 
     network = pickle.loads(network_blob)
+    context = pickle.loads(context_blob) if context_blob is not None else None
     send_lock = threading.Lock()
     stop = threading.Event()
 
@@ -95,21 +106,36 @@ def worker_main(
                 break
             if message[0] != MSG_TASK:  # pragma: no cover - protocol guard
                 continue
-            _, task_id, prefix = message
-            _inject_faults(prefix, faults)
+            _, task_id, payload = message
+            is_prefix = isinstance(payload, Prefix)
+            _inject_faults(str(payload) if is_prefix else payload.key, faults)
             registry = MetricsRegistry()
             set_registry(registry)
             try:
-                stats, outcome = simulate_prefix_with_retry(
-                    network, prefix, decision_config, retry_policy
-                )
-                result = TaskResult(
-                    prefix=prefix,
-                    outcome=outcome,
-                    stats=stats,
-                    state=capture_prefix_state(network, prefix),
-                    metrics=registry.dump_raw(),
-                )
+                if is_prefix:
+                    stats, outcome = simulate_prefix_with_retry(
+                        network, payload, decision_config, retry_policy
+                    )
+                    result: object = TaskResult(
+                        prefix=payload,
+                        outcome=outcome,
+                        stats=stats,
+                        state=capture_prefix_state(network, payload),
+                        metrics=registry.dump_raw(),
+                    )
+                else:
+                    # Generic task: run on a *fresh* unpickled network so a
+                    # scenario's topology mutations never leak into the
+                    # next task dispatched to this worker.
+                    scratch = pickle.loads(network_blob)
+                    value = payload.run(
+                        scratch, context, decision_config, retry_policy
+                    )
+                    result = GenericTaskResult(
+                        key=payload.key,
+                        value=value,
+                        metrics=registry.dump_raw(),
+                    )
             except BaseException as error:  # noqa: BLE001 - reported, not hidden
                 if not send((MSG_ERROR, task_id, repr(error))):
                     break
@@ -121,11 +147,10 @@ def worker_main(
         conn.close()
 
 
-def _inject_faults(prefix, faults: WorkerFaults | None) -> None:
-    """Apply configured crash/hang sabotage for ``prefix`` (chaos/tests)."""
+def _inject_faults(name: str, faults: WorkerFaults | None) -> None:
+    """Apply configured crash/hang sabotage for task ``name`` (chaos/tests)."""
     if not faults:
         return
-    name = str(prefix)
     if name in faults.crash_prefixes:
         # Mimic a segfault/OOM kill: vanish without a goodbye message.
         os._exit(CRASH_EXIT_CODE)

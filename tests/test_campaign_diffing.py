@@ -1,0 +1,104 @@
+"""Tests for the campaign path-map diff and the shared diff helpers."""
+
+from repro.campaign import ScenarioDiff, diff_path_maps
+from repro.diffutil import multiset_diff, truncate_ranked
+
+
+class TestMultisetDiff:
+    def test_disjoint_sets(self):
+        added, removed, unchanged = multiset_diff(["a", "b"], ["c"])
+        assert added == ["c"]
+        assert removed == ["a", "b"]
+        assert unchanged == 0
+
+    def test_multiset_pairing_counts_duplicates(self):
+        # Two "a" in base, one in current: exactly one removal survives.
+        added, removed, unchanged = multiset_diff(["a", "a"], ["a"])
+        assert added == []
+        assert removed == ["a"]
+        assert unchanged == 1
+
+    def test_key_function_pairs_unequal_objects(self):
+        base = [(1, "x"), (2, "y")]
+        current = [(1, "z"), (3, "w")]
+        added, removed, unchanged = multiset_diff(
+            base, current, key=lambda item: item[0]
+        )
+        assert added == [(3, "w")]
+        assert removed == [(2, "y")]
+        assert unchanged == 1
+
+    def test_order_preserved(self):
+        added, removed, _ = multiset_diff([3, 1, 2], [5, 4])
+        assert added == [5, 4]  # current order
+        assert removed == [3, 1, 2]  # base order
+
+
+class TestTruncateRanked:
+    def test_no_limit_returns_everything(self):
+        lines = [f"line {i}" for i in range(5)]
+        assert truncate_ranked(lines, None) == lines
+
+    def test_limit_appends_omission_count(self):
+        lines = [f"line {i}" for i in range(5)]
+        out = truncate_ranked(lines, 2, "scenarios")
+        assert out[:2] == lines[:2]
+        assert out[2] == "... 3 more scenarios omitted"
+
+    def test_limit_covering_everything_adds_nothing(self):
+        lines = ["a", "b"]
+        assert truncate_ranked(lines, 2) == lines
+
+
+class TestDiffPathMaps:
+    BASE = {
+        (1, 10): (("10", "a"), ("10", "b")),
+        (2, 10): (("10", "c"),),
+        (3, 10): (("10", "d"),),
+    }
+
+    def test_identical_maps_diff_empty(self):
+        diff = diff_path_maps(self.BASE, {k: set(v) for k, v in self.BASE.items()})
+        assert diff.changed == ()
+        assert diff.lost == ()
+        assert diff.gained == ()
+        assert diff.blast_radius == 0
+        assert diff.diversity_delta == 0
+        assert diff.unchanged_pairs == 3
+
+    def test_lost_changed_gained_classified(self):
+        current = {
+            (1, 10): {("10", "a")},  # changed: one path dropped
+            # (2, 10) gone entirely: lost
+            (3, 10): {("10", "d")},  # unchanged
+            (4, 10): {("10", "e")},  # gained
+        }
+        diff = diff_path_maps(self.BASE, current)
+        assert diff.changed == ((1, 10),)
+        assert diff.lost == ((2, 10),)
+        assert diff.gained == ((4, 10),)
+        assert diff.blast_radius == 3
+        assert diff.paths_removed == 2  # one from (1,10), one from (2,10)
+        assert diff.paths_added == 1
+        assert diff.diversity_delta == -1
+
+    def test_excluded_origins_never_reported(self):
+        diff = diff_path_maps(self.BASE, {}, exclude_origins={1, 2, 3})
+        assert diff.lost == ()
+        assert diff.blast_radius == 0
+
+    def test_to_dict_is_json_ready(self):
+        diff = diff_path_maps(self.BASE, {})
+        doc = diff.to_dict()
+        assert doc["lost"] == [[1, 10], [2, 10], [3, 10]]
+        assert doc["diversity_delta"] == -4
+        assert isinstance(doc["blast_radius"], int)
+
+    def test_deterministic_pair_order(self):
+        current = {(pair): set() for pair in self.BASE}
+        diff = diff_path_maps(self.BASE, current)
+        assert diff.lost == tuple(sorted(self.BASE))
+
+    def test_scenario_diff_is_frozen(self):
+        diff = ScenarioDiff((), (), (), 0, 0, 0)
+        assert diff.blast_radius == 0

@@ -13,7 +13,11 @@ from repro.core.predict import (
     simulate_for_dataset,
 )
 from repro.core.refine import Refiner
-from repro.core.whatif import depeer, simulate_link_failure
+from repro.core.whatif import (
+    depeer,
+    simulate_link_failure,
+    validate_session_endpoints,
+)
 from repro.errors import ModelError, TopologyError
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
@@ -179,3 +183,51 @@ class TestWhatIf:
         model.simulate_all()
         report = depeer(model, 1, 3, origins=[4], observers=[5])
         assert report.affected_pairs == 0
+
+
+class TestUpFrontValidation:
+    """Both endpoints are validated before any simulation is spent."""
+
+    def _counting(self, model):
+        calls = []
+        original = model.simulate_origin
+
+        def wrapper(origin, *args, **kwargs):
+            calls.append(origin)
+            return original(origin, *args, **kwargs)
+
+        model.simulate_origin = wrapper
+        return calls
+
+    def test_unknown_asn_raises_before_simulating(self, refined_diamond):
+        model, _ = refined_diamond
+        calls = self._counting(model)
+        with pytest.raises(TopologyError, match="AS 64999"):
+            simulate_link_failure(model, [(2, 64999)])
+        assert calls == []
+
+    def test_both_endpoints_checked(self, refined_diamond):
+        model, _ = refined_diamond
+        with pytest.raises(TopologyError, match="AS 64998"):
+            simulate_link_failure(model, [(64998, 2)])
+
+    def test_missing_adjacency_raises_before_simulating(
+        self, refined_diamond
+    ):
+        model, _ = refined_diamond
+        calls = self._counting(model)
+        with pytest.raises(TopologyError, match="no adjacency"):
+            simulate_link_failure(model, [(2, 3)])
+        assert calls == []
+
+    def test_validator_accepts_real_adjacency(self, refined_diamond):
+        model, _ = refined_diamond
+        validate_session_endpoints(model, [(2, 4), (3, 4)])
+
+    def test_later_bad_edge_still_blocks_everything(self, refined_diamond):
+        # One good edge followed by a bad one: nothing may simulate.
+        model, _ = refined_diamond
+        calls = self._counting(model)
+        with pytest.raises(TopologyError, match="AS 64999"):
+            simulate_link_failure(model, [(2, 4), (64999, 4)])
+        assert calls == []

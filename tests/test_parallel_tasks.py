@@ -1,0 +1,146 @@
+"""Tests for the supervised pool's generic-task surface (`run_tasks`).
+
+The campaign engine fans arbitrary picklable tasks — not just prefixes —
+through the same crash-isolated pool.  These tests cover the generic
+contract directly: deterministic key-ordered merge, per-task network
+isolation, context shipping, worker-side metrics folding, and poison
+quarantine on injected crashes.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.core.model import MODEL_DECISION_CONFIG
+from repro.net.prefix import Prefix
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.parallel import (
+    GenericRunStats,
+    ParallelConfig,
+    SupervisedPool,
+    TaskFailure,
+    WorkerFaults,
+)
+from repro.resilience.retry import POISON, RetryPolicy
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def small_network():
+    net = Network("tasks")
+    hub = net.add_router(100)
+    for index in range(3):
+        net.connect(net.add_router(200 + index), hub)
+    net.originate(hub, Prefix("10.0.0.0/24"))
+    return net
+
+
+@dataclass(frozen=True)
+class ProbeTask:
+    """Reports the worker-side view: router count, context, mutations."""
+
+    name: str
+
+    @property
+    def key(self) -> str:
+        return f"probe:{self.name}"
+
+    def run(self, network, context, config, policy) -> dict:
+        # Count first, then mutate: if worker state leaked between tasks
+        # the next task would see the router gone.
+        routers = len(network.routers)
+        victim = next(iter(network.routers.values()))
+        network.routers.pop(victim.router_id)
+        get_registry().counter("probe.ticks").inc()
+        return {
+            "routers": routers,
+            "context": context,
+            "config_ok": config is not None and policy is not None,
+        }
+
+
+@dataclass(frozen=True)
+class FailingTask:
+    name: str
+
+    @property
+    def key(self) -> str:
+        return f"fail:{self.name}"
+
+    def run(self, network, context, config, policy) -> dict:
+        raise RuntimeError("task exploded on purpose")
+
+
+def run_pool(tasks, workers=2, context=None, faults=None, **overrides):
+    parallel = ParallelConfig(
+        workers=workers, task_timeout=30, max_resubmits=1, faults=faults,
+        **overrides,
+    )
+    pool = SupervisedPool(
+        small_network(), MODEL_DECISION_CONFIG, RetryPolicy(), parallel,
+        context=context,
+    )
+    with pool:
+        return pool.run_tasks(tasks)
+
+
+class TestRunTasks:
+    def test_results_keyed_and_complete(self):
+        tasks = [ProbeTask(f"t{i}") for i in range(6)]
+        stats = run_pool(tasks)
+        assert isinstance(stats, GenericRunStats)
+        assert sorted(stats.results) == sorted(t.key for t in tasks)
+        assert stats.failed == {}
+        assert stats.supervision["workers"] == 2
+
+    def test_each_task_gets_a_fresh_network(self):
+        # Every probe removes a router after counting; with more tasks
+        # than workers, leaked state would show a shrinking count.
+        stats = run_pool([ProbeTask(f"t{i}") for i in range(8)])
+        assert {r["routers"] for r in stats.results.values()} == {4}
+
+    def test_context_is_shipped_to_workers(self):
+        stats = run_pool(
+            [ProbeTask("ctx")], context={"baseline": "checksum-123"}
+        )
+        assert stats.results["probe:ctx"]["context"] == {
+            "baseline": "checksum-123"
+        }
+        assert stats.results["probe:ctx"]["config_ok"]
+
+    def test_worker_metrics_fold_into_parent_registry(self):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        try:
+            run_pool([ProbeTask(f"t{i}") for i in range(5)])
+            assert registry.counter("probe.ticks").value == 5
+        finally:
+            set_registry(MetricsRegistry())
+
+    def test_task_exception_is_poison_not_fatal(self):
+        stats = run_pool([ProbeTask("ok"), FailingTask("boom")])
+        assert "probe:ok" in stats.results
+        failure = stats.failed["fail:boom"]
+        assert isinstance(failure, TaskFailure)
+        assert failure.status == POISON
+        # Each dispatch is recorded by its failure class.
+        assert failure.failures == ("error", "error")
+
+    def test_injected_crash_is_poison_after_resubmits(self):
+        tasks = [ProbeTask("a"), ProbeTask("b"), ProbeTask("c")]
+        stats = run_pool(
+            tasks,
+            faults=WorkerFaults(crash_prefixes=("probe:b",)),
+        )
+        assert stats.failed["probe:b"].status == POISON
+        assert stats.failed["probe:b"].resubmits >= 1
+        assert sorted(stats.results) == ["probe:a", "probe:c"]
+
+    def test_merge_order_is_deterministic(self):
+        # Results fold in key-sorted order regardless of completion
+        # order; two runs produce identical dict iteration order.
+        tasks = [ProbeTask(f"t{i}") for i in range(6)]
+        first = list(run_pool(tasks).results)
+        second = list(run_pool(tasks, workers=3).results)
+        assert first == second == sorted(first)
